@@ -1,0 +1,83 @@
+"""Ablation (Section 4.1) — Eqntott with a larger data set.
+
+"With a larger data set the advantage enjoyed by the shared-L1
+architecture would be less pronounced because the L1 cache replacement
+misses would make the communication miss time a smaller percentage of
+the total execution time." The harness sweeps the vector length and
+checks that the shared-L1 speedup over shared-memory shrinks as the
+vectors grow.
+"""
+
+import pathlib
+
+from harness import MAX_CYCLES
+from repro.core.experiment import run_architecture_comparison
+from repro.core.report import normalized_times
+from repro.mem.functional import FunctionalMemory
+from repro.workloads.eqntott import EqntottWorkload, _SCALES
+
+
+def _factory_with_vectors(vec_words):
+    """Bench-scale eqntott with a swept vector length (comparisons
+    scaled down so total work stays comparable)."""
+    base_words, pool, comparisons, seq_work, writes = _SCALES["bench"]
+    swept = (
+        vec_words,
+        pool,
+        max(comparisons * base_words // vec_words, 12),
+        seq_work,
+        writes,
+    )
+
+    def factory(n_cpus, functional: FunctionalMemory, scale: str):
+        import repro.workloads.eqntott as eq
+
+        original = eq._SCALES
+        eq._SCALES = dict(original, bench=swept)
+        try:
+            return EqntottWorkload(n_cpus, functional, "bench")
+        finally:
+            eq._SCALES = original
+
+    return factory
+
+
+def test_ablation_eqntott_scaling(benchmark):
+    sweep = {}
+    lengths = (96, 192, 768)
+
+    def once():
+        for vec_words in lengths:
+            results = run_architecture_comparison(
+                _factory_with_vectors(vec_words),
+                cpu_model="mipsy",
+                scale="bench",
+                max_cycles=MAX_CYCLES,
+            )
+            sweep[vec_words] = normalized_times(results)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation - Eqntott data-set scaling (Section 4.1)",
+        "=================================================",
+        "",
+        f"{'vector words':>13}{'shared-l1':>12}{'shared-l2':>12}",
+    ]
+    for vec_words in lengths:
+        times = sweep[vec_words]
+        lines.append(
+            f"{vec_words:>13}{times['shared-l1']:>12.3f}"
+            f"{times['shared-l2']:>12.3f}"
+        )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "ablation_eqntott_scaling.txt").write_text(text + "\n")
+
+    # Larger vectors -> replacement misses dilute the communication ->
+    # the shared-L1 advantage is less pronounced (normalized time
+    # moves toward 1.0).
+    assert sweep[768]["shared-l1"] > sweep[96]["shared-l1"]

@@ -1,0 +1,69 @@
+"""Ablation (Section 2.2) — why the shared L1 must be on one die.
+
+"If chip boundaries were crossed, either the L1 latency would be
+increased to five or more cycles or the clock rate of the processors
+would be severely degraded. Either of these would have a significant
+impact on processor performance."
+
+The harness sweeps the shared-L1 hit latency from the single-die 3
+cycles to a multichip 5 and 7 cycles under the detailed MXS model
+(where the latency is actually charged) and shows the architecture's
+headline win on Ear eroding.
+"""
+
+import pathlib
+
+from harness import MAX_CYCLES
+from repro.core.configs import config_for_scale
+from repro.core.experiment import run_one
+from repro.workloads import WORKLOADS
+
+
+def _run(latency):
+    config = config_for_scale("bench")
+    config.shared_l1_latency = latency
+    result = run_one(
+        "shared-l1",
+        WORKLOADS["ear"],
+        cpu_model="mxs",
+        scale="bench",
+        mem_config=config,
+        max_cycles=MAX_CYCLES,
+    )
+    return result
+
+
+def test_ablation_multichip_shared_l1(benchmark):
+    sweep = {}
+
+    def once():
+        for latency in (3, 5, 7):
+            sweep[latency] = _run(latency)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation - shared-L1 hit latency (Section 2.2, MXS, Ear)",
+        "=========================================================",
+        "",
+        f"{'L1 latency':>11}{'cycles':>10}{'IPC':>8}{'vs 3-cycle':>12}",
+    ]
+    base = sweep[3].cycles
+    for latency, result in sweep.items():
+        lines.append(
+            f"{latency:>11}{result.cycles:>10}"
+            f"{result.per_cpu_ipc:>8.3f}"
+            f"{result.cycles / base:>12.3f}"
+        )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "ablation_multichip_l1.txt").write_text(text + "\n")
+
+    # Crossing chip boundaries must hurt, monotonically.
+    assert sweep[5].cycles > sweep[3].cycles
+    assert sweep[7].cycles > sweep[5].cycles
+    # "A significant impact": at least several percent by 5 cycles.
+    assert sweep[5].cycles > 1.03 * sweep[3].cycles

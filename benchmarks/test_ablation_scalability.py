@@ -1,0 +1,74 @@
+"""Ablation — parallel speedup from 1 to 4 CPUs per architecture.
+
+Not a figure in the paper, but its motivating claim (Section 1):
+multiprocessors "offer high performance on single applications by
+exploiting loop-level parallelism". The harness measures each
+architecture's self-relative speedup on the coarse-grained FFT kernel
+and on fine-grained Ear — the fine-grained program should only scale
+well where communication is cheap.
+"""
+
+import pathlib
+
+from harness import MAX_CYCLES
+from repro.core.experiment import run_one
+from repro.workloads import WORKLOADS
+
+_ARCHS = ("shared-l1", "shared-l2", "shared-mem")
+
+
+def _speedups(workload):
+    table = {}
+    for arch in _ARCHS:
+        base = None
+        row = {}
+        for n_cpus in (1, 2, 4):
+            result = run_one(
+                arch,
+                WORKLOADS[workload],
+                cpu_model="mipsy",
+                scale="bench",
+                n_cpus=n_cpus,
+                max_cycles=MAX_CYCLES,
+            )
+            if base is None:
+                base = result.cycles
+            row[n_cpus] = base / result.cycles
+        table[arch] = row
+    return table
+
+
+def test_ablation_scalability(benchmark):
+    tables = {}
+
+    def once():
+        for workload in ("fft", "ear"):
+            tables[workload] = _speedups(workload)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation - parallel speedup (1 -> 4 CPUs, Mipsy)",
+        "================================================",
+    ]
+    for workload, table in tables.items():
+        lines.append("")
+        lines.append(f"{workload}:")
+        lines.append(f"{'arch':<12}{'1 CPU':>8}{'2 CPUs':>8}{'4 CPUs':>8}")
+        for arch, row in table.items():
+            lines.append(
+                f"{arch:<12}{row[1]:>7.2f}x{row[2]:>7.2f}x{row[4]:>7.2f}x"
+            )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "ablation_scalability.txt").write_text(text + "\n")
+
+    # The coarse-grained kernel scales usefully on every architecture.
+    for arch in _ARCHS:
+        assert tables["fft"][arch][4] > 1.5, arch
+    # The fine-grained program scales best where sharing is cheapest.
+    ear = tables["ear"]
+    assert ear["shared-l1"][4] > ear["shared-mem"][4]

@@ -1,0 +1,49 @@
+"""Every encoded paper claim, asserted at bench scale.
+
+:mod:`repro.core.paper` encodes the claims the paper's Section 4 makes
+about each figure. At bench scale — the harness's tuned operating
+point — every one of them (structural *and* quantitative) must hold.
+This is the strongest single statement the reproduction makes.
+"""
+
+import pathlib
+
+from harness import run_matrix
+from repro.core.paper import (
+    PAPER_EXPECTATIONS,
+    check_figure,
+    format_check_report,
+)
+
+
+def test_all_paper_claims_hold_at_bench_scale(benchmark):
+    reports = {}
+
+    def once():
+        for figure, expectation in PAPER_EXPECTATIONS.items():
+            results = run_matrix(expectation.workload)
+            reports[figure] = check_figure(results, figure)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+
+    lines = ["Paper claims at bench scale", "===========================", ""]
+    failures = []
+    for figure, report in reports.items():
+        expectation = PAPER_EXPECTATIONS[figure]
+        lines.append(f"{figure} ({expectation.workload}): "
+                     f"{expectation.summary}")
+        lines.append(format_check_report(report))
+        lines.append("")
+        failures.extend(
+            (figure, label, detail)
+            for label, ok, detail in report
+            if not ok
+        )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "paper_claims.txt").write_text(text + "\n")
+
+    assert not failures, failures

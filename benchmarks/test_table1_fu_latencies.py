@@ -1,0 +1,108 @@
+"""Table 1 — CPU functional unit latencies.
+
+A configuration table rather than a measurement: the harness verifies
+the implemented latencies against the paper's Table 1 and prints the
+table, then times a microbenchmark that executes one instruction of
+every class through the MXS pipeline to confirm the latencies are the
+ones the model actually uses.
+"""
+
+import pathlib
+
+from repro.core.configs import test_config
+from repro.core.system import System
+from repro.isa.instructions import FU_LATENCY, OpClass
+from repro.mem.functional import FunctionalMemory
+from repro.workloads.base import Workload
+
+_EXPECTED = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 2,
+    OpClass.IDIV: 12,
+    OpClass.BRANCH: 2,
+    OpClass.STORE: 1,
+    OpClass.FADD_SP: 2,
+    OpClass.FMUL_SP: 2,
+    OpClass.FDIV_SP: 12,
+    OpClass.FADD_DP: 2,
+    OpClass.FMUL_DP: 2,
+    OpClass.FDIV_DP: 18,
+}
+
+_ROWS = (
+    ("ALU", OpClass.IALU, "SP Add/Sub", OpClass.FADD_SP),
+    ("Multiply", OpClass.IMUL, "SP Multiply", OpClass.FMUL_SP),
+    ("Divide", OpClass.IDIV, "SP Divide", OpClass.FDIV_SP),
+    ("Branch", OpClass.BRANCH, "DP Add/Sub", OpClass.FADD_DP),
+    ("Load", OpClass.LOAD, "DP Multiply", OpClass.FMUL_DP),
+    ("Store", OpClass.STORE, "DP Divide", OpClass.FDIV_DP),
+)
+
+
+class _LatencyChain(Workload):
+    """A dependent chain of one op class; CPI reveals its latency."""
+
+    name = "latency-chain"
+
+    def __init__(self, n_cpus, functional, op=OpClass.IALU, count=400):
+        super().__init__(n_cpus, functional)
+        self.op = op
+        self.count = count
+        self.region = self.code.region("chain", 16)
+
+    def program(self, cpu_id):
+        ctx = self.context(cpu_id)
+        em = ctx.emitter(self.region)
+        if cpu_id:
+            return
+        for _ in range(self.count):
+            em.jump(0)
+            yield em.op(self.op, src1=1)  # depends on its predecessor
+
+
+def _measured_latency(op):
+    functional = FunctionalMemory()
+    workload = _LatencyChain(1, functional, op=op)
+    config = test_config(1)
+    system = System("shared-mem", workload, cpu_model="mxs", mem_config=config)
+    stats = system.run()
+    mxs = stats.mxs[0]
+    return mxs.cycles / mxs.graduated
+
+
+def test_table1_fu_latencies(benchmark):
+    def check():
+        measured = {}
+        for op in (OpClass.IALU, OpClass.IMUL, OpClass.IDIV,
+                   OpClass.FADD_DP, OpClass.FDIV_DP):
+            measured[op] = _measured_latency(op)
+        return measured
+
+    measured = benchmark.pedantic(check, rounds=1, iterations=1)
+
+    for op, expected in _EXPECTED.items():
+        assert FU_LATENCY[op] == expected, op
+
+    # A dependent chain's CPI equals the result latency (+ small
+    # pipeline overheads at the start/end of the run).
+    for op, cpi in measured.items():
+        assert abs(cpi - FU_LATENCY[op]) < 0.5, (op, cpi)
+
+    lines = [
+        "Table 1 - CPU functional unit latencies",
+        "=======================================",
+        "",
+        f"{'Integer':<12}{'Latency':>8}   {'Floating Point':<16}{'Latency':>8}",
+        "-" * 48,
+    ]
+    for int_name, int_op, fp_name, fp_op in _ROWS:
+        int_lat = "1 or 3" if int_op is OpClass.LOAD else str(FU_LATENCY[int_op])
+        lines.append(
+            f"{int_name:<12}{int_lat:>8}   {fp_name:<16}{FU_LATENCY[fp_op]:>8}"
+        )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    results = pathlib.Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "table1_fu_latencies.txt").write_text(text + "\n")

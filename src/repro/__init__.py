@@ -1,0 +1,32 @@
+"""repro — Evaluation of Design Alternatives for a Multiprocessor Microprocessor.
+
+An execution-driven Python reproduction of Nayfeh, Hammond & Olukotun's
+ISCA 1996 study of where to interconnect the CPUs of a multiprocessor
+microprocessor: at the L1 cache, the L2 cache, or main memory.
+
+The public surface:
+
+* :mod:`repro.core` — configurations (paper Table 2), the
+  :class:`~repro.core.system.System` builder, the experiment matrix,
+  sweeps, reports and SVG figures;
+* :mod:`repro.workloads` — the paper's seven applications and the base
+  classes for writing new ones;
+* :mod:`repro.cpu` — the Mipsy (simple) and MXS (dynamic superscalar)
+  CPU models;
+* :mod:`repro.mem` — the three memory architectures and their
+  building blocks;
+* :mod:`repro.sync` — LL/SC locks, barriers and task queues;
+* :mod:`repro.trace` — trace capture and replay (trace-driven mode).
+
+Quickstart::
+
+    from repro.core import run_architecture_comparison, normalized_times
+    from repro.workloads import WORKLOADS
+
+    results = run_architecture_comparison(WORKLOADS["eqntott"], scale="test")
+    print(normalized_times(results))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,352 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro list
+        Show the available workloads, architectures, scales and models.
+
+    python -m repro run --workload eqntott --arch shared-l1
+        Run one simulation and print its statistics (breakdown, miss
+        rates, synchronization traffic).
+
+    python -m repro compare --workload ear --scale bench [--svg out.svg]
+        Run the architecture matrix for one workload and print the
+        paper-style breakdown, miss-rate table, resource utilization
+        and a bar chart; optionally render the figure as SVG.
+
+    python -m repro sweep --workload mp3d --field l2_assoc 1 2 4
+        Sweep one MemConfig field on every architecture.
+
+    python -m repro trace --workload eqntott --limit 60
+        Dump a workload's instruction stream (no simulation).
+
+    python -m repro selfcheck
+        Run the fast invariant battery (seconds; meant for CI).
+
+All output is plain text, suitable for piping into reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.configs import ARCHITECTURES, CPU_MODELS, config_for_scale
+from repro.core.experiment import run_architecture_comparison, run_one
+from repro.core.report import (
+    format_bar_chart,
+    format_breakdown_table,
+    format_ipc_table,
+    format_miss_rate_table,
+    format_resource_table,
+    normalized_times,
+)
+from repro.errors import ReproError
+from repro.workloads import WORKLOADS
+
+_SCALES = ("test", "bench", "paper")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", "-w", required=True, choices=sorted(WORKLOADS),
+        help="which of the paper's workloads to run",
+    )
+    parser.add_argument(
+        "--scale", "-s", default="test", choices=_SCALES,
+        help="size preset (test=1/32, bench=1/8, paper=full)",
+    )
+    parser.add_argument(
+        "--cpu", "-c", default="mipsy", choices=CPU_MODELS,
+        help="CPU model (mipsy=simple in-order, mxs=dynamic superscalar)",
+    )
+    parser.add_argument(
+        "--cpus", "-n", type=int, default=4, help="number of processors"
+    )
+    parser.add_argument(
+        "--max-cycles", type=int, default=50_000_000,
+        help="safety cap on simulated cycles",
+    )
+
+
+def _parse_override(text: str) -> tuple[str, int]:
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"override must look like field=value, got {text!r}"
+        )
+    field, _, value = text.partition("=")
+    try:
+        return field, int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"override value must be an integer, got {value!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse CLI (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Evaluation of Design Alternatives for a "
+            "Multiprocessor Microprocessor' (ISCA 1996)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show workloads, architectures and presets")
+
+    run_p = sub.add_parser("run", help="run one (arch, workload) simulation")
+    _add_common(run_p)
+    run_p.add_argument(
+        "--arch", "-a", required=True, choices=ARCHITECTURES,
+        help="memory architecture",
+    )
+    run_p.add_argument(
+        "--set", dest="overrides", type=_parse_override, action="append",
+        default=[], metavar="FIELD=VALUE",
+        help="override a MemConfig field (repeatable)",
+    )
+
+    cmp_p = sub.add_parser(
+        "compare", help="run all three architectures and compare"
+    )
+    _add_common(cmp_p)
+    cmp_p.add_argument(
+        "--set", dest="overrides", type=_parse_override, action="append",
+        default=[], metavar="FIELD=VALUE",
+        help="override a MemConfig field (repeatable)",
+    )
+    cmp_p.add_argument(
+        "--svg", metavar="PATH",
+        help="also render the comparison as an SVG figure",
+    )
+    cmp_p.add_argument(
+        "--claims", action="store_true",
+        help="evaluate the paper's Section-4 claims for this workload",
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep", help="sweep one MemConfig field across all architectures"
+    )
+    _add_common(sweep_p)
+    sweep_p.add_argument(
+        "--field", required=True, help="MemConfig field to sweep"
+    )
+    sweep_p.add_argument(
+        "values", nargs="+", type=int, help="values to sweep over"
+    )
+
+    sub.add_parser(
+        "selfcheck",
+        help="run the fast invariant battery (seconds; for CI)",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="dump a workload's instruction stream (no simulation)"
+    )
+    trace_p.add_argument(
+        "--workload", "-w", required=True, choices=sorted(WORKLOADS)
+    )
+    trace_p.add_argument("--scale", "-s", default="test", choices=_SCALES)
+    trace_p.add_argument("--cpu", type=int, default=0, help="which CPU")
+    trace_p.add_argument(
+        "--limit", type=int, default=60, help="instructions to print"
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+
+
+def _cmd_list() -> int:
+    print("workloads:")
+    for name in sorted(WORKLOADS):
+        doc = (WORKLOADS[name].__module__ or "").split(".")[-1]
+        print(f"  {name:<10} (repro.workloads.{doc})")
+    print(f"architectures: {', '.join(ARCHITECTURES)}")
+    print(f"cpu models:    {', '.join(CPU_MODELS)}")
+    print(f"scales:        {', '.join(_SCALES)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = config_for_scale(args.scale, args.cpus)
+    for field, value in args.overrides:
+        if not hasattr(config, field):
+            print(f"error: unknown MemConfig field {field!r}",
+                  file=sys.stderr)
+            return 2
+        setattr(config, field, value)
+    result = run_one(
+        args.arch,
+        WORKLOADS[args.workload],
+        cpu_model=args.cpu,
+        scale=args.scale,
+        n_cpus=args.cpus,
+        mem_config=config,
+        max_cycles=args.max_cycles,
+    )
+    stats = result.stats
+    print(f"{args.workload} on {args.arch} ({args.cpu}, {args.scale}):")
+    print(f"  cycles        {stats.cycles}")
+    print(f"  instructions  {stats.instructions}")
+    print(f"  machine IPC   {stats.ipc:.3f}")
+    breakdown = stats.aggregate_breakdown()
+    total = max(breakdown.total, 1)
+    for name, value in breakdown.as_dict().items():
+        print(f"  {name:<13} {value:>10}  ({100 * value / total:5.1f}%)")
+    l1 = stats.aggregate_caches(".l1d")
+    l2 = stats.aggregate_caches(".l2")
+    print(f"  L1 data: {l1.accesses} refs, "
+          f"L1R {100 * l1.miss_rate_repl:.2f}%  "
+          f"L1I {100 * l1.miss_rate_inval:.2f}%")
+    print(f"  L2:      {l2.accesses} refs, "
+          f"L2R {100 * l2.miss_rate_repl:.2f}%  "
+          f"L2I {100 * l2.miss_rate_inval:.2f}%")
+    sync = result.extras.get("sync", {})
+    if sync:
+        print("  synchronization:")
+        for name, info in sorted(sync.items()):
+            fields = "  ".join(
+                f"{key}={value}" for key, value in info.items()
+                if key != "kind"
+            )
+            print(f"    {name:<20} [{info['kind']}] {fields}")
+    print(f"  wall time     {result.wall_seconds:.2f}s")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    overrides = dict(args.overrides) or None
+    results = run_architecture_comparison(
+        WORKLOADS[args.workload],
+        cpu_model=args.cpu,
+        scale=args.scale,
+        n_cpus=args.cpus,
+        max_cycles=args.max_cycles,
+        mem_config_overrides=overrides,
+    )
+    title = f"{args.workload} ({args.cpu}, {args.scale} scale)"
+    print(format_breakdown_table(results, title=title))
+    print()
+    print(format_miss_rate_table(results))
+    if args.cpu == "mxs":
+        print()
+        print(format_ipc_table(results))
+    print()
+    print(format_resource_table(results, title="resource utilization"))
+    print()
+    print(format_bar_chart(normalized_times(results),
+                           title="normalized execution time"))
+    if args.svg:
+        from repro.core.figures import render_comparison_figure
+
+        render_comparison_figure(results, title, args.svg)
+        print(f"figure written to {args.svg}")
+    if args.claims:
+        from repro.core.paper import (
+            PAPER_EXPECTATIONS,
+            check_figure,
+            format_check_report,
+        )
+
+        figure = next(
+            (
+                fig for fig, exp in PAPER_EXPECTATIONS.items()
+                if exp.workload == args.workload
+            ),
+            None,
+        )
+        print()
+        if figure is None:
+            print(f"(no encoded paper claims for {args.workload!r})")
+        else:
+            print(f"paper claims ({figure}):")
+            print(format_check_report(check_figure(results, figure)))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    print(f"sweeping {args.field} over {args.values} "
+          f"({args.workload}, {args.cpu}, {args.scale} scale)")
+    header = f"{args.field:>12}" + "".join(
+        f"{arch:>13}" for arch in ARCHITECTURES
+    )
+    print(header)
+    print("-" * len(header))
+    for value in args.values:
+        row = f"{value:>12}"
+        try:
+            results = run_architecture_comparison(
+                WORKLOADS[args.workload],
+                cpu_model=args.cpu,
+                scale=args.scale,
+                n_cpus=args.cpus,
+                max_cycles=args.max_cycles,
+                mem_config_overrides={args.field: value},
+            )
+        except ReproError as error:
+            print(f"{row}  error: {error}")
+            continue
+        for arch in ARCHITECTURES:
+            row += f"{results[arch].cycles:>13}"
+        print(row)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.mem.functional import FunctionalMemory
+
+    workload = WORKLOADS[args.workload](4, FunctionalMemory(), args.scale)
+    program = workload.program(args.cpu)
+    print(f"# {args.workload} cpu {args.cpu} ({args.scale} scale), "
+          f"first {args.limit} instructions")
+    print(f"{'#':>5} {'pc':>10} {'op':<8} {'operand':<14} {'deps'}")
+    value = None
+    feed = 0
+    for index in range(args.limit):
+        try:
+            inst = program.send(value) if value is not None else next(program)
+        except StopIteration:
+            print(f"# program ended after {index} instructions")
+            break
+        value = None
+        if inst.want_value:
+            feed += 1
+            value = (0, 1, 2, 3, 1 << 20)[feed % 5]
+        operand = ""
+        if inst.is_memory:
+            operand = f"[{inst.addr:#x}]"
+        elif inst.is_branch:
+            operand = ("taken" if inst.taken else "not-taken")
+        deps = ""
+        if inst.src1 or inst.src2:
+            deps = f"src-{inst.src1}" + (f",-{inst.src2}" if inst.src2 else "")
+        print(f"{index:>5} {inst.pc:>#10x} {inst.op.name:<8} "
+              f"{operand:<14} {deps}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: dispatch a parsed command; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "selfcheck":
+        from repro.core.selfcheck import run_selfcheck
+
+        return 0 if run_selfcheck() else 1
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

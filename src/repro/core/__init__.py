@@ -1,0 +1,74 @@
+"""System assembly, experiment matrix and report formatting.
+
+This is the public face of the library: build a
+:class:`~repro.core.system.System` from an architecture name, a CPU
+model and a workload, run it, and get the paper's statistics back; or
+use :mod:`repro.core.experiment` to run the full architecture matrix
+the way the evaluation section does.
+"""
+
+from repro.core.configs import (
+    ARCHITECTURES,
+    CPU_MODELS,
+    CpuParams,
+    bench_config,
+    build_memory,
+    paper_config,
+    test_config,
+)
+from repro.core.system import System
+from repro.core.experiment import (
+    ExperimentResult,
+    run_architecture_comparison,
+    run_one,
+)
+from repro.core.report import (
+    format_bar_chart,
+    format_breakdown_table,
+    format_ipc_table,
+    format_miss_rate_table,
+    format_resource_table,
+    normalized_times,
+    speedups,
+)
+from repro.core.figures import (
+    render_breakdown_svg,
+    render_comparison_figure,
+    render_ipc_svg,
+)
+from repro.core.sweeps import (
+    SweepResult,
+    speedup_table,
+    sweep_cpu_count,
+    sweep_mem_field,
+)
+from repro.core.selfcheck import run_selfcheck
+
+__all__ = [
+    "ARCHITECTURES",
+    "CPU_MODELS",
+    "CpuParams",
+    "bench_config",
+    "build_memory",
+    "paper_config",
+    "test_config",
+    "System",
+    "ExperimentResult",
+    "run_architecture_comparison",
+    "run_one",
+    "format_bar_chart",
+    "format_breakdown_table",
+    "format_ipc_table",
+    "format_miss_rate_table",
+    "format_resource_table",
+    "normalized_times",
+    "speedups",
+    "render_breakdown_svg",
+    "render_comparison_figure",
+    "render_ipc_svg",
+    "SweepResult",
+    "speedup_table",
+    "sweep_cpu_count",
+    "sweep_mem_field",
+    "run_selfcheck",
+]

@@ -1,0 +1,100 @@
+"""Architecture presets (paper Table 2) and CPU parameters (Section 2.1).
+
+Three scales are provided (see DESIGN.md Section 5):
+
+* ``paper_config()`` — the paper's true sizes (16 KB L1s, 2 MB L2);
+* ``bench_config()`` — 1/8 scale, the default for the benchmark
+  harnesses (2 KB L1s, 256 KB L2);
+* ``test_config()`` — 1/32 scale for the unit/integration test suite.
+
+Latencies and occupancies are never scaled; they are the design points
+under study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.mem.hierarchy import MemConfig, MemorySystem
+from repro.mem.shared_l1 import SharedL1System
+from repro.mem.shared_l2 import SharedL2System
+from repro.mem.shared_mem import SharedMemorySystem
+from repro.sim.stats import SystemStats
+
+#: The three architectures of the paper, in its presentation order.
+ARCHITECTURES = ("shared-l1", "shared-l2", "shared-mem")
+
+#: The two CPU models.
+CPU_MODELS = ("mipsy", "mxs")
+
+_SYSTEMS = {
+    "shared-l1": SharedL1System,
+    "shared-l2": SharedL2System,
+    "shared-mem": SharedMemorySystem,
+}
+
+
+@dataclass
+class CpuParams:
+    """MXS microarchitecture parameters (paper Section 2.1)."""
+
+    width: int = 2              # 2-way issue
+    window: int = 32            # centralized instruction window
+    rob: int = 32               # reorder buffer entries
+    btb_entries: int = 1024     # branch target buffer
+    mshrs: int = 4              # outstanding data-cache misses
+    fetch_width: int = 2
+    #: model wrong-path instruction fetch after a misprediction: while
+    #: the branch resolves, fetch runs down the predicted (wrong) path,
+    #: polluting the I-cache and consuming refill bandwidth. Off by
+    #: default (the paper-matching configuration models the refill
+    #: bubble only; see DESIGN.md substitutions).
+    wrong_path_fetch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.fetch_width <= 0:
+            raise ConfigError("issue and fetch width must be positive")
+        if self.window <= 0 or self.rob <= 0:
+            raise ConfigError("window and ROB must be positive")
+        if self.btb_entries <= 0 or self.btb_entries & (self.btb_entries - 1):
+            raise ConfigError("BTB entries must be a power of two")
+
+
+def paper_config(n_cpus: int = 4, **overrides) -> MemConfig:
+    """The paper's full-size memory configuration."""
+    return MemConfig(n_cpus=n_cpus, **overrides)
+
+
+def bench_config(n_cpus: int = 4, **overrides) -> MemConfig:
+    """1/8-scale configuration used by the benchmark harnesses."""
+    return paper_config(n_cpus=n_cpus, **overrides).scaled(8)
+
+
+def test_config(n_cpus: int = 4, **overrides) -> MemConfig:
+    """1/32-scale configuration used by the test suite."""
+    return paper_config(n_cpus=n_cpus, **overrides).scaled(32)
+
+
+def config_for_scale(scale: str, n_cpus: int = 4, **overrides) -> MemConfig:
+    """Map a workload scale name to its memory configuration."""
+    if scale == "paper":
+        return paper_config(n_cpus, **overrides)
+    if scale == "bench":
+        return bench_config(n_cpus, **overrides)
+    if scale == "test":
+        return test_config(n_cpus, **overrides)
+    raise ConfigError(f"unknown scale {scale!r}; use paper/bench/test")
+
+
+def build_memory(
+    arch: str, config: MemConfig, stats: SystemStats
+) -> MemorySystem:
+    """Instantiate the memory system for an architecture name."""
+    try:
+        system_cls = _SYSTEMS[arch]
+    except KeyError:
+        raise ConfigError(
+            f"unknown architecture {arch!r}; expected one of {ARCHITECTURES}"
+        ) from None
+    return system_cls(config, stats)

@@ -1,0 +1,198 @@
+"""Experiment harness: run workloads across the architecture matrix.
+
+This is how the paper's evaluation section is regenerated: one workload
+run on each of the three architectures with the same inputs and scale,
+then compared against the shared-memory baseline (Figures 4-10) or in
+absolute IPC (Figure 11).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.configs import (
+    ARCHITECTURES,
+    CpuParams,
+    config_for_scale,
+)
+from repro.core.system import System
+from repro.errors import ConfigError
+from repro.mem.functional import FunctionalMemory
+from repro.mem.hierarchy import MemConfig
+from repro.sim.stats import SystemStats
+from repro.workloads.base import Workload
+
+#: A workload factory: builds a fresh workload bound to a functional
+#: memory, at a given scale.
+WorkloadFactory = Callable[[int, FunctionalMemory, str], Workload]
+
+
+@dataclass
+class ExperimentResult:
+    """One (architecture, workload, CPU model) simulation outcome."""
+
+    arch: str
+    workload: str
+    cpu_model: str
+    scale: str
+    stats: SystemStats
+    wall_seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.stats.instructions
+
+    @property
+    def machine_ipc(self) -> float:
+        """Aggregate graduated instructions per machine cycle."""
+        return self.stats.ipc
+
+    @property
+    def per_cpu_ipc(self) -> float:
+        """Mean IPC per CPU (the paper's Figure 11 axis, ideal = 2)."""
+        mxs_list = [m for m in self.stats.mxs if m.cycles]
+        if not mxs_list:
+            return 0.0
+        return sum(m.ipc for m in mxs_list) / len(mxs_list)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable summary of this run (for tooling)."""
+        breakdown = self.stats.aggregate_breakdown()
+        l1 = self.stats.aggregate_caches(".l1d")
+        l2 = self.stats.aggregate_caches(".l2")
+        summary = {
+            "arch": self.arch,
+            "workload": self.workload,
+            "cpu_model": self.cpu_model,
+            "scale": self.scale,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "machine_ipc": self.machine_ipc,
+            "breakdown": breakdown.as_dict(),
+            "l1d": {
+                "accesses": l1.accesses,
+                "miss_rate_repl": l1.miss_rate_repl,
+                "miss_rate_inval": l1.miss_rate_inval,
+            },
+            "l2": {
+                "accesses": l2.accesses,
+                "miss_rate_repl": l2.miss_rate_repl,
+                "miss_rate_inval": l2.miss_rate_inval,
+            },
+            "wall_seconds": self.wall_seconds,
+            "extras": {
+                key: value
+                for key, value in self.extras.items()
+                if key in ("resources", "truncated", "sync")
+            },
+        }
+        if self.cpu_model == "mxs":
+            summary["per_cpu_ipc"] = self.per_cpu_ipc
+            summary["mxs"] = [
+                {
+                    "ipc": m.ipc,
+                    "branches": m.branches,
+                    "mispredicts": m.mispredicts,
+                    "ipc_loss": m.ipc_loss(),
+                }
+                for m in self.stats.mxs
+                if m.cycles
+            ]
+        return summary
+
+    def to_json(self, **kwargs) -> str:
+        """The :meth:`to_dict` summary, JSON-encoded."""
+        import json
+
+        kwargs.setdefault("indent", 2)
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+def run_one(
+    arch: str,
+    factory: WorkloadFactory,
+    cpu_model: str = "mipsy",
+    scale: str = "test",
+    n_cpus: int = 4,
+    mem_config: MemConfig | None = None,
+    cpu_params: CpuParams | None = None,
+    max_cycles: int | None = None,
+) -> ExperimentResult:
+    """Build and run one system; returns the result record."""
+    functional = FunctionalMemory()
+    workload = factory(n_cpus, functional, scale)
+    config = (
+        mem_config
+        if mem_config is not None
+        else config_for_scale(scale, n_cpus)
+    )
+    system = System(
+        arch,
+        workload,
+        cpu_model=cpu_model,
+        mem_config=config,
+        cpu_params=cpu_params,
+        max_cycles=max_cycles,
+    )
+    started = time.perf_counter()
+    stats = system.run()
+    elapsed = time.perf_counter() - started
+    return ExperimentResult(
+        arch=arch,
+        workload=workload.name,
+        cpu_model=cpu_model,
+        scale=scale,
+        stats=stats,
+        wall_seconds=elapsed,
+        extras={
+            "resources": system.memory.resource_report(max(stats.cycles, 1)),
+            "truncated": system.truncated,
+            "sync": workload.sync_report(),
+        },
+    )
+
+
+def run_architecture_comparison(
+    factory: WorkloadFactory,
+    cpu_model: str = "mipsy",
+    scale: str = "test",
+    n_cpus: int = 4,
+    archs: tuple[str, ...] = ARCHITECTURES,
+    cpu_params: CpuParams | None = None,
+    max_cycles: int | None = None,
+    mem_config_overrides: dict | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run one workload on every architecture; returns results by name.
+
+    Each architecture gets a *fresh* workload instance (same parameters,
+    same synthetic data seeding) and a fresh functional memory, exactly
+    as the paper restarts each run from the same checkpoint.
+    """
+    if not archs:
+        raise ConfigError("need at least one architecture")
+    results: dict[str, ExperimentResult] = {}
+    for arch in archs:
+        config = config_for_scale(scale, n_cpus)
+        if mem_config_overrides:
+            for key, value in mem_config_overrides.items():
+                if not hasattr(config, key):
+                    raise ConfigError(f"unknown MemConfig field {key!r}")
+                setattr(config, key, value)
+        results[arch] = run_one(
+            arch,
+            factory,
+            cpu_model=cpu_model,
+            scale=scale,
+            n_cpus=n_cpus,
+            mem_config=config,
+            cpu_params=cpu_params,
+            max_cycles=max_cycles,
+        )
+    return results

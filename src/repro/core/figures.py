@@ -1,0 +1,204 @@
+"""Render the paper's figures as standalone SVG files.
+
+Two renderers, matching the paper's two figure styles:
+
+* :func:`render_breakdown_svg` — Figures 4-10: horizontal stacked bars
+  of normalized execution time, one bar per architecture, segmented
+  into the Mipsy stall components;
+* :func:`render_ipc_svg` — Figure 11: stacked bars of achieved IPC
+  plus IPC lost to instruction-cache, data-cache and pipeline stalls,
+  reaching up to the machine's ideal width.
+
+Pure-string SVG, no dependencies; the output opens in any browser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.experiment import ExperimentResult
+from repro.core.report import normalized_times
+from repro.errors import ReproError
+
+#: component -> (label, fill colour); the paper's stacked-bar segments.
+_BREAKDOWN_SEGMENTS = (
+    ("busy", "CPU", "#4878a8"),
+    ("istall", "Instr stall", "#90b4d8"),
+    ("l1d", "L1 stall", "#e8b54d"),
+    ("l2", "L2 stall", "#d88a3c"),
+    ("mem", "Memory stall", "#c4502e"),
+    ("c2c", "Cache-to-cache", "#8c2d1e"),
+    ("storebuf", "Store buffer", "#7a7a7a"),
+)
+
+_IPC_SEGMENTS = (
+    ("ipc", "Achieved IPC", "#4878a8"),
+    ("icache", "I-cache loss", "#90b4d8"),
+    ("dcache", "D-cache loss", "#d88a3c"),
+    ("pipeline", "Pipeline loss", "#c4502e"),
+)
+
+_BAR_HEIGHT = 26
+_BAR_GAP = 14
+_LABEL_WIDTH = 110
+_PLOT_WIDTH = 420
+_LEGEND_HEIGHT = 40
+_TITLE_HEIGHT = 30
+
+
+def _svg_header(width: int, height: int, title: str) -> list[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">{title}</text>',
+    ]
+
+
+def _legend(segments, y: int, width: int) -> list[str]:
+    parts = []
+    x = 10
+    for _key, label, colour in segments:
+        parts.append(
+            f'<rect x="{x}" y="{y}" width="12" height="12" '
+            f'fill="{colour}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 16}" y="{y + 10}">{label}</text>'
+        )
+        x += 16 + 7 * len(label) + 18
+    return parts
+
+
+def _stacked_bars(rows, segments, scale, y0):
+    """rows: list of (name, {key: value}); scale: px per unit."""
+    parts = []
+    y = y0
+    for name, values in rows:
+        parts.append(
+            f'<text x="{_LABEL_WIDTH - 8}" y="{y + _BAR_HEIGHT - 9}" '
+            f'text-anchor="end">{name}</text>'
+        )
+        x = float(_LABEL_WIDTH)
+        for key, _label, colour in segments:
+            width = values.get(key, 0.0) * scale
+            if width <= 0:
+                continue
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{width:.1f}" '
+                f'height="{_BAR_HEIGHT}" fill="{colour}">'
+                f"<title>{key}: {values.get(key, 0.0):.3f}</title></rect>"
+            )
+            x += width
+        total = sum(values.values())
+        parts.append(
+            f'<text x="{x + 6:.1f}" y="{y + _BAR_HEIGHT - 9}">'
+            f"{total:.2f}</text>"
+        )
+        y += _BAR_HEIGHT + _BAR_GAP
+    return parts, y
+
+
+def render_breakdown_svg(
+    results: dict[str, ExperimentResult],
+    title: str,
+    path: str | Path | None = None,
+    baseline: str = "shared-mem",
+) -> str:
+    """Figures 4-10 style: normalized execution-time stacked bars."""
+    if not results:
+        raise ReproError("no results to render")
+    base = results[baseline].cycles
+    if base <= 0:
+        raise ReproError("baseline run has no cycles")
+    rows = []
+    for arch, result in results.items():
+        breakdown = result.stats.aggregate_breakdown()
+        n_cpus = max(result.stats.n_cpus, 1)
+        values = {
+            key: getattr(breakdown, key) / (base * n_cpus)
+            for key, _label, _colour in _BREAKDOWN_SEGMENTS
+        }
+        rows.append((arch, values))
+
+    peak = max(sum(values.values()) for _name, values in rows)
+    scale = _PLOT_WIDTH / max(peak, 1e-9)
+    height = (
+        _TITLE_HEIGHT
+        + len(rows) * (_BAR_HEIGHT + _BAR_GAP)
+        + _LEGEND_HEIGHT
+    )
+    width = _LABEL_WIDTH + _PLOT_WIDTH + 60
+
+    parts = _svg_header(width, height, title)
+    bars, y_end = _stacked_bars(rows, _BREAKDOWN_SEGMENTS, scale,
+                                _TITLE_HEIGHT)
+    parts.extend(bars)
+    # A reference line at the baseline's 1.0.
+    x_ref = _LABEL_WIDTH + scale * 1.0
+    parts.append(
+        f'<line x1="{x_ref:.1f}" y1="{_TITLE_HEIGHT - 4}" '
+        f'x2="{x_ref:.1f}" y2="{y_end - _BAR_GAP + 4}" '
+        'stroke="#404040" stroke-dasharray="4,3"/>'
+    )
+    parts.extend(_legend(_BREAKDOWN_SEGMENTS, y_end + 4, width))
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
+def render_ipc_svg(
+    results: dict[str, ExperimentResult],
+    title: str,
+    path: str | Path | None = None,
+    width_ipc: int = 2,
+) -> str:
+    """Figure 11 style: achieved IPC + stacked losses up to ideal."""
+    if not results:
+        raise ReproError("no results to render")
+    rows = []
+    for arch, result in results.items():
+        mxs_list = [m for m in result.stats.mxs if m.cycles]
+        if not mxs_list:
+            raise ReproError(f"{arch} has no MXS statistics to render")
+        ipc = sum(m.ipc for m in mxs_list) / len(mxs_list)
+        losses = {"icache": 0.0, "dcache": 0.0, "pipeline": 0.0}
+        for m in mxs_list:
+            for key, value in m.ipc_loss(width_ipc).items():
+                losses[key] += value / len(mxs_list)
+        rows.append((arch, {"ipc": ipc, **losses}))
+
+    scale = _PLOT_WIDTH / width_ipc
+    height = (
+        _TITLE_HEIGHT
+        + len(rows) * (_BAR_HEIGHT + _BAR_GAP)
+        + _LEGEND_HEIGHT
+    )
+    width = _LABEL_WIDTH + _PLOT_WIDTH + 60
+
+    parts = _svg_header(width, height, title)
+    bars, y_end = _stacked_bars(rows, _IPC_SEGMENTS, scale, _TITLE_HEIGHT)
+    parts.extend(bars)
+    parts.extend(_legend(_IPC_SEGMENTS, y_end + 4, width))
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
+def render_comparison_figure(
+    results: dict[str, ExperimentResult],
+    title: str,
+    path: str | Path | None = None,
+) -> str:
+    """Pick the right renderer for the results' CPU model."""
+    has_mxs = any(
+        m.cycles for result in results.values() for m in result.stats.mxs
+    )
+    if has_mxs:
+        return render_ipc_svg(results, title, path)
+    return render_breakdown_svg(results, title, path)

@@ -1,0 +1,342 @@
+"""The paper's qualitative claims, as checkable data.
+
+Every figure discussion in Section 4 makes specific claims — who wins,
+which miss component dominates, which architecture pays which cost.
+This module encodes those claims as data
+(:data:`PAPER_EXPECTATIONS`) and provides :func:`check_figure`, which
+evaluates a result set against them and reports which claims hold.
+
+The benchmark harnesses assert the subset of claims the scaled
+reproduction is expected to satisfy; users running their own
+configurations can evaluate all of them:
+
+    from repro.core.paper import check_figure
+    report = check_figure(results, "fig4")
+    for claim, ok, detail in report:
+        print("OK " if ok else "DEV", claim, "-", detail)
+
+(`DEV` marks a deviation, not an error: EXPERIMENTS.md documents the
+known ones and why they appear at reduced scale.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.experiment import ExperimentResult
+from repro.core.report import normalized_times
+from repro.errors import ReproError
+
+Check = Callable[[dict[str, ExperimentResult]], tuple[bool, str]]
+
+
+def _times(results):
+    return normalized_times(results)
+
+
+def _tag(check: Check, label: str, quantitative: bool) -> Check:
+    check.label = label
+    #: quantitative claims hold at bench scale (the harness's tuned
+    #: operating point); structural claims hold at any scale.
+    check.quantitative = quantitative
+    return check
+
+
+def faster_than(arch: str, other: str) -> Check:
+    """Claim: ``arch`` finishes in less time than ``other``."""
+
+    def check(results):
+        times = _times(results)
+        ok = times[arch] < times[other]
+        return ok, f"{arch}={times[arch]:.3f} vs {other}={times[other]:.3f}"
+
+    return _tag(check, f"{arch} faster than {other}", quantitative=False)
+
+
+def normalized_within(arch: str, low: float, high: float) -> Check:
+    """Claim: ``arch``'s normalized time falls inside ``[low, high]``."""
+
+    def check(results):
+        value = _times(results)[arch]
+        return low <= value <= high, f"{arch}={value:.3f} in [{low},{high}]"
+
+    return _tag(
+        check,
+        f"{arch} normalized time within [{low}, {high}]",
+        quantitative=True,
+    )
+
+
+def no_invalidation_misses(arch: str) -> Check:
+    """Claim: ``arch`` takes no invalidation misses at all."""
+
+    def check(results):
+        l1 = results[arch].stats.aggregate_caches(".l1d")
+        l2 = results[arch].stats.aggregate_caches(".l2")
+        total = l1.misses_inval + l2.misses_inval
+        return total == 0, f"{arch} invalidation misses = {total}"
+
+    return _tag(
+        check, f"{arch} has no invalidation misses", quantitative=False
+    )
+
+
+def l2_invalidation_dominated(arch: str) -> Check:
+    """Claim: invalidations outnumber replacements in ``arch``'s L2."""
+
+    def check(results):
+        l2 = results[arch].stats.aggregate_caches(".l2")
+        ok = l2.misses_inval > l2.misses_repl
+        return ok, (
+            f"{arch} L2I={l2.misses_inval} vs L2R={l2.misses_repl}"
+        )
+
+    return _tag(
+        check,
+        f"{arch} L2 misses dominated by invalidations",
+        quantitative=True,
+    )
+
+
+def l2_invalidation_share_at_least(arch: str, floor: float) -> Check:
+    """Claim: at least ``floor`` of ``arch``'s L2 misses are invalidations."""
+
+    def check(results):
+        l2 = results[arch].stats.aggregate_caches(".l2")
+        misses = max(l2.misses, 1)
+        share = l2.misses_inval / misses
+        return share >= floor, (
+            f"{arch} L2I share {share:.2f} >= {floor}"
+        )
+
+    return _tag(
+        check,
+        f"{arch} L2 invalidation share at least {100 * floor:.0f}%",
+        quantitative=True,
+    )
+
+
+def l1_replacement_dominated(arch: str) -> Check:
+    """Claim: replacements outnumber invalidations in ``arch``'s L1."""
+
+    def check(results):
+        l1 = results[arch].stats.aggregate_caches(".l1d")
+        ok = l1.misses_repl > l1.misses_inval
+        return ok, f"{arch} L1R={l1.misses_repl} vs L1I={l1.misses_inval}"
+
+    return _tag(
+        check,
+        f"{arch} L1 misses dominated by replacements",
+        quantitative=False,
+    )
+
+
+def l1_replacement_rate_at_most(arch: str, limit: float) -> Check:
+    """Claim: ``arch``'s L1 replacement miss rate is at most ``limit``."""
+
+    def check(results):
+        rate = results[arch].stats.aggregate_caches(".l1d").miss_rate_repl
+        return rate <= limit, f"{arch} L1R={100 * rate:.2f}% <= {100 * limit}%"
+
+    return _tag(
+        check, f"{arch} L1R at most {100 * limit:.0f}%", quantitative=True
+    )
+
+
+def l1_replacement_rate_at_least(arch: str, floor: float) -> Check:
+    """Claim: ``arch``'s L1 replacement miss rate is at least ``floor``."""
+
+    def check(results):
+        rate = results[arch].stats.aggregate_caches(".l1d").miss_rate_repl
+        return rate >= floor, f"{arch} L1R={100 * rate:.2f}% >= {100 * floor}%"
+
+    return _tag(
+        check, f"{arch} L1R at least {100 * floor:.0f}%", quantitative=True
+    )
+
+
+def memory_stall_share_below(arch: str, limit: float) -> Check:
+    """Claim: ``arch`` spends under ``limit`` of its time in memory stalls."""
+
+    def check(results):
+        breakdown = results[arch].stats.aggregate_breakdown()
+        share = breakdown.memory_stall / max(breakdown.total, 1)
+        return share <= limit, f"{arch} stall share {share:.2f} <= {limit}"
+
+    return _tag(
+        check,
+        f"{arch} memory stalls below {100 * limit:.0f}% of time",
+        quantitative=True,
+    )
+
+
+def uses_cache_to_cache(arch: str) -> Check:
+    """Claim: ``arch`` performed cache-to-cache transfers (bus sharing)."""
+
+    def check(results):
+        transfers = results[arch].stats.c2c_transfers
+        return transfers > 0, f"{arch} c2c transfers = {transfers}"
+
+    return _tag(
+        check, f"{arch} communicates cache-to-cache", quantitative=False
+    )
+
+
+def istall_share_at_least(arch: str, floor: float) -> Check:
+    """Claim: instruction stalls take at least ``floor`` of ``arch``'s time."""
+
+    def check(results):
+        breakdown = results[arch].stats.aggregate_breakdown()
+        share = breakdown.istall / max(breakdown.total, 1)
+        return share >= floor, f"{arch} istall share {share:.2f} >= {floor}"
+
+    return _tag(
+        check,
+        f"{arch} instruction stalls at least {100 * floor:.0f}%",
+        quantitative=True,
+    )
+
+
+@dataclass
+class FigureExpectation:
+    """One figure's claims from the paper's Section 4 discussion."""
+
+    figure: str
+    workload: str
+    summary: str
+    checks: list[Check] = field(default_factory=list)
+
+
+PAPER_EXPECTATIONS: dict[str, FigureExpectation] = {
+    "fig4": FigureExpectation(
+        "fig4",
+        "eqntott",
+        "shared-L1 wins substantially; communication dominates the "
+        "shared-memory machine's L2 misses",
+        [
+            faster_than("shared-l1", "shared-l2"),
+            faster_than("shared-l2", "shared-mem"),
+            normalized_within("shared-l1", 0.0, 0.9),
+            l2_invalidation_dominated("shared-mem"),
+            no_invalidation_misses("shared-l1"),
+            uses_cache_to_cache("shared-mem"),
+        ],
+    ),
+    "fig5": FigureExpectation(
+        "fig5",
+        "mp3d",
+        "the shared-L1 advantage collapses (paper: 16% worse); "
+        "L1 misses are replacement-dominated everywhere",
+        [
+            normalized_within("shared-l1", 0.85, 1.3),
+            l1_replacement_dominated("shared-l1"),
+            l1_replacement_dominated("shared-mem"),
+            # "heavy communication requirements": a large invalidation
+            # component in the shared-memory machine's L2.
+            l2_invalidation_share_at_least("shared-mem", 0.25),
+        ],
+    ),
+    "fig6": FigureExpectation(
+        "fig6",
+        "ocean",
+        "large L1R everywhere, small communication; shared-L1 slightly "
+        "ahead, shared-L2 behind it",
+        [
+            l1_replacement_rate_at_least("shared-l1", 0.03),
+            l1_replacement_rate_at_least("shared-mem", 0.03),
+            faster_than("shared-l1", "shared-l2"),
+            normalized_within("shared-l1", 0.7, 1.05),
+            normalized_within("shared-l2", 0.85, 1.15),
+        ],
+    ),
+    "fig7": FigureExpectation(
+        "fig7",
+        "volpack",
+        "small working set; the two shared caches close together, "
+        "both ahead of shared memory",
+        [
+            l1_replacement_rate_at_most("shared-l1", 0.04),
+            normalized_within("shared-l1", 0.0, 1.0),
+            normalized_within("shared-l2", 0.0, 1.0),
+        ],
+    ),
+    "fig8": FigureExpectation(
+        "fig8",
+        "ear",
+        "shared-L1 has almost no memory stalls; private caches pay the "
+        "suite's highest invalidation rate",
+        [
+            faster_than("shared-l1", "shared-l2"),
+            faster_than("shared-l2", "shared-mem"),
+            memory_stall_share_below("shared-l1", 0.15),
+            no_invalidation_misses("shared-l1"),
+        ],
+    ),
+    "fig9": FigureExpectation(
+        "fig9",
+        "fft",
+        "all three fairly similar; shared caches slightly ahead",
+        [
+            normalized_within("shared-l1", 0.6, 1.1),
+            normalized_within("shared-l2", 0.6, 1.15),
+        ],
+    ),
+    "fig10": FigureExpectation(
+        "fig10",
+        "multiprog",
+        "shared-L1 close to shared memory, shared-L2 behind both; "
+        "instruction stalls visible; the pooled L1 pays no extra L1R",
+        [
+            normalized_within("shared-l1", 0.7, 1.1),
+            # The paper's "pooled L1 holds the working sets" only holds
+            # when the shared cache is big enough for the process count
+            # — a capacity claim, hence quantitative.
+            _tag(
+                lambda results: faster_than("shared-l1", "shared-l2")(
+                    results
+                ),
+                "shared-l1 faster than shared-l2",
+                quantitative=True,
+            ),
+            istall_share_at_least("shared-l1", 0.05),
+            istall_share_at_least("shared-mem", 0.05),
+        ],
+    ),
+}
+
+
+def check_figure(
+    results: dict[str, ExperimentResult],
+    figure: str,
+    structural_only: bool = False,
+) -> list[tuple[str, bool, str]]:
+    """Evaluate one figure's claims; returns (label, ok, detail) rows.
+
+    ``structural_only`` skips the quantitative claims, which are tuned
+    for bench scale (the harness's operating point) and are not
+    expected to hold at other scales.
+    """
+    try:
+        expectation = PAPER_EXPECTATIONS[figure]
+    except KeyError:
+        raise ReproError(
+            f"unknown figure {figure!r}; known: "
+            f"{', '.join(sorted(PAPER_EXPECTATIONS))}"
+        ) from None
+    report = []
+    for check in expectation.checks:
+        if structural_only and getattr(check, "quantitative", False):
+            continue
+        ok, detail = check(results)
+        report.append((check.label, ok, detail))
+    return report
+
+
+def format_check_report(report: list[tuple[str, bool, str]]) -> str:
+    """Human-readable claim report (OK / DEV per claim)."""
+    lines = []
+    for label, ok, detail in report:
+        status = " OK" if ok else "DEV"
+        lines.append(f"[{status}] {label} ({detail})")
+    return "\n".join(lines)

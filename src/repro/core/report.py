@@ -1,0 +1,207 @@
+"""Report formatting: the paper's rows and series as text tables.
+
+Figures 4-10 are stacked execution-time breakdowns normalized to the
+shared-memory architecture, with a companion table of L1/L2 miss rates
+split into replacement (L1R/L2R) and invalidation (L1I/L2I) components.
+Figure 11 is an IPC breakdown. The formatters here print those numbers
+so a bench run reproduces the figure's data series directly.
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.errors import ReproError
+
+_BREAKDOWN_COLUMNS = (
+    ("cpu", "busy"),
+    ("instr", "istall"),
+    ("l1d", "l1d"),
+    ("l2", "l2"),
+    ("mem", "mem"),
+    ("c2c", "c2c"),
+    ("stbuf", "storebuf"),
+)
+
+
+def normalized_times(
+    results: dict[str, ExperimentResult],
+    baseline: str = "shared-mem",
+) -> dict[str, float]:
+    """Execution time of each architecture relative to the baseline.
+
+    1.0 is the baseline; smaller is faster (the paper plots the same
+    normalization in Figures 4-10).
+    """
+    if baseline not in results:
+        raise ReproError(f"baseline {baseline!r} missing from results")
+    base = results[baseline].cycles
+    if base <= 0:
+        raise ReproError("baseline run has no cycles")
+    return {arch: result.cycles / base for arch, result in results.items()}
+
+
+def speedups(
+    results: dict[str, ExperimentResult],
+    baseline: str = "shared-mem",
+) -> dict[str, float]:
+    """Baseline time / architecture time (how the paper quotes gains)."""
+    return {
+        arch: 1.0 / value if value else float("inf")
+        for arch, value in normalized_times(results, baseline).items()
+    }
+
+
+def format_breakdown_table(
+    results: dict[str, ExperimentResult],
+    baseline: str = "shared-mem",
+    title: str = "",
+) -> str:
+    """Normalized execution-time breakdown, one row per architecture.
+
+    Every component is expressed as a fraction of the *baseline's*
+    total time so rows are directly comparable (the paper's stacked
+    bars use the same scale).
+    """
+    base = results[baseline].cycles
+    if base <= 0:
+        raise ReproError("baseline run has no cycles")
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'arch':<12}{'total':>8}" + "".join(
+        f"{label:>8}" for label, _attr in _BREAKDOWN_COLUMNS
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for arch, result in results.items():
+        breakdown = result.stats.aggregate_breakdown()
+        # Per-CPU breakdowns sum cycles across CPUs; normalize by the
+        # number of CPUs to express them in machine time.
+        n_cpus = max(result.stats.n_cpus, 1)
+        row = f"{arch:<12}{result.cycles / base:>8.3f}"
+        for _label, attr in _BREAKDOWN_COLUMNS:
+            value = getattr(breakdown, attr) / (base * n_cpus)
+            row += f"{value:>8.3f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_miss_rate_table(
+    results: dict[str, ExperimentResult],
+    title: str = "",
+) -> str:
+    """L1R / L1I / L2R / L2I local miss rates per architecture.
+
+    L1 rates aggregate every data cache (the shared array or the four
+    private ones); L2 rates aggregate every L2. Rates are percentages
+    of references to that cache, as in the paper.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'arch':<12}{'L1R%':>8}{'L1I%':>8}{'L2R%':>8}{'L2I%':>8}"
+        f"{'L1 refs':>12}{'L2 refs':>12}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for arch, result in results.items():
+        l1 = result.stats.aggregate_caches(".l1d")
+        l2 = result.stats.aggregate_caches(".l2")
+        lines.append(
+            f"{arch:<12}"
+            f"{100 * l1.miss_rate_repl:>8.2f}"
+            f"{100 * l1.miss_rate_inval:>8.2f}"
+            f"{100 * l2.miss_rate_repl:>8.2f}"
+            f"{100 * l2.miss_rate_inval:>8.2f}"
+            f"{l1.accesses:>12}"
+            f"{l2.accesses:>12}"
+        )
+    return "\n".join(lines)
+
+
+def format_resource_table(
+    results: dict[str, ExperimentResult],
+    threshold: float = 0.01,
+    title: str = "",
+) -> str:
+    """Shared-resource utilization per architecture.
+
+    Shows, for every run that recorded one, each resource's busy
+    fraction of the run — the "where did the bandwidth go" companion to
+    the stall breakdown. Resources below ``threshold`` are elided.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    for arch, result in results.items():
+        report = result.extras.get("resources", {})
+        busy = {
+            name: value for name, value in sorted(report.items())
+            if value >= threshold
+        }
+        if not busy:
+            lines.append(f"{arch:<12} (all resources < {threshold:.0%} busy)")
+            continue
+        rendered = "  ".join(
+            f"{name}={value:.0%}" for name, value in busy.items()
+        )
+        lines.append(f"{arch:<12} {rendered}")
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    values: dict[str, float],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """A horizontal ASCII bar chart (the paper's figures, in text).
+
+    Bars are scaled so the largest value fills ``width`` characters.
+    """
+    if not values:
+        raise ReproError("nothing to chart")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ReproError("bar chart needs a positive maximum")
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(name) for name in values)
+    for name, value in values.items():
+        bar = "#" * max(int(round(width * value / peak)), 1)
+        lines.append(f"{name:<{label_width}}  {bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def format_ipc_table(
+    results: dict[str, ExperimentResult],
+    width: int = 2,
+    title: str = "",
+) -> str:
+    """Figure 11 series: achieved IPC and IPC lost per cause."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'arch':<12}{'IPC':>8}{'icache':>9}{'dcache':>9}{'pipeline':>10}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for arch, result in results.items():
+        mxs_list = [m for m in result.stats.mxs if m.cycles]
+        if not mxs_list:
+            lines.append(f"{arch:<12}{'n/a':>8}")
+            continue
+        ipc = sum(m.ipc for m in mxs_list) / len(mxs_list)
+        losses = {"icache": 0.0, "dcache": 0.0, "pipeline": 0.0}
+        for m in mxs_list:
+            for key, value in m.ipc_loss(width).items():
+                losses[key] += value / len(mxs_list)
+        lines.append(
+            f"{arch:<12}{ipc:>8.3f}"
+            f"{losses['icache']:>9.3f}"
+            f"{losses['dcache']:>9.3f}"
+            f"{losses['pipeline']:>10.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Fast end-to-end self-check (``python -m repro selfcheck``).
+
+Runs a battery of invariant checks in a few seconds — the things that
+must hold for any result out of this simulator to be trustworthy:
+
+1. Table 2 contention-free latencies measure exactly as configured.
+2. Synchronization is sound on every architecture (no lost lock
+   updates, no barrier phase overlap).
+3. The FFT workload's computation validates against numpy.
+4. MESI invariants hold after a sharing-heavy run.
+5. Mipsy accounting identity: busy cycles == instructions.
+6. Runs are deterministic.
+
+Intended for CI and for quickly validating local modifications; the
+full evidence lives in tests/ and benchmarks/.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.core.configs import ARCHITECTURES, build_memory, paper_config
+from repro.core.configs import test_config
+from repro.core.system import System
+from repro.errors import ReproError
+from repro.mem.functional import FunctionalMemory
+from repro.mem.types import AccessKind
+from repro.sim.stats import SystemStats
+from repro.workloads import WORKLOADS
+
+
+class SelfCheckFailure(ReproError):
+    """A self-check found an invariant violation."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SelfCheckFailure(message)
+
+
+# ----------------------------------------------------------------------
+
+
+def check_table2_latencies() -> str:
+    """Contention-free hit latencies equal Table 2's values."""
+    probes = {
+        "shared-l1": 3,
+        "shared-l2": 1,
+        "shared-mem": 1,
+    }
+    for arch, expected in probes.items():
+        config = paper_config()
+        config.shared_l1_optimistic = False
+        memory = build_memory(arch, config, SystemStats.for_cpus(4))
+        memory.access(0, AccessKind.LOAD, 0x1000_0000, 0)
+        measured = (
+            memory.access(0, AccessKind.LOAD, 0x1000_0000, 10_000).done
+            - 10_000
+        )
+        _check(
+            measured == expected,
+            f"{arch} L1 hit measured {measured}, expected {expected}",
+        )
+    return "Table 2 L1 hit latencies: 3 / 1 / 1 cycles"
+
+
+def check_synchronization() -> str:
+    """A lock-protected counter loses no updates on any architecture."""
+    from repro.sync.lock import SpinLock
+    from repro.workloads.base import Workload
+
+    class Counter(Workload):
+        name = "selfcheck-counter"
+
+        def __init__(self, n_cpus, functional):
+            super().__init__(n_cpus, functional)
+            self.region = self.code.region("sc.body", 16)
+            self.lock = SpinLock("sc.lock", self.code, self.data)
+            self.addr = self.data.alloc_line()
+
+        def program(self, cpu_id):
+            ctx = self.context(cpu_id)
+            em = ctx.emitter(self.region)
+            for _ in range(6):
+                yield from self.lock.acquire(ctx)
+                em.jump(0)
+                value = yield em.load(self.addr, want_value=True)
+                yield em.ialu(src1=1)
+                yield em.store(self.addr, value + 1)
+                yield from self.lock.release(ctx)
+
+    for arch in ARCHITECTURES:
+        functional = FunctionalMemory()
+        workload = Counter(4, functional)
+        system = System(
+            arch, workload, mem_config=test_config(), max_cycles=1_000_000
+        )
+        system.run()
+        _check(not system.truncated, f"{arch}: synchronization livelocked")
+        total = functional.read(workload.addr, 1 << 60)
+        _check(total == 24, f"{arch}: counter is {total}, expected 24")
+    return "lock-protected counter exact on all three architectures"
+
+
+def check_fft_math() -> str:
+    """The FFT workload's transforms validate against numpy."""
+    functional = FunctionalMemory()
+    workload = WORKLOADS["fft"](4, functional, "test")
+    system = System(
+        "shared-l1", workload, mem_config=test_config(), max_cycles=3_000_000
+    )
+    system.run()  # validate() raises on divergence
+    _check(
+        len(workload.forward_results) == workload.n_ffts,
+        "not every transform completed",
+    )
+    return f"{workload.n_ffts} FFTs match numpy, round trips restore inputs"
+
+
+def check_mesi_invariants() -> str:
+    """MESI holds after a sharing-heavy run."""
+    functional = FunctionalMemory()
+    workload = WORKLOADS["ear"](4, functional, "test")
+    system = System(
+        "shared-mem", workload, mem_config=test_config(), max_cycles=3_000_000
+    )
+    system.run()
+    system.memory.snoop.check_invariants()
+    return "single-owner + inclusion invariants hold after ear"
+
+
+def check_accounting() -> str:
+    """Mipsy busy cycles equal retired instructions."""
+    functional = FunctionalMemory()
+    workload = WORKLOADS["eqntott"](4, functional, "test")
+    system = System(
+        "shared-l2", workload, mem_config=test_config(), max_cycles=3_000_000
+    )
+    stats = system.run()
+    _check(
+        stats.aggregate_breakdown().busy == stats.instructions,
+        "busy cycles diverged from instruction count",
+    )
+    return f"busy == instructions ({stats.instructions})"
+
+
+def check_determinism() -> str:
+    """Two identical runs produce identical statistics."""
+
+    def run() -> tuple:
+        functional = FunctionalMemory()
+        workload = WORKLOADS["volpack"](4, functional, "test")
+        system = System(
+            "shared-mem", workload, mem_config=test_config(),
+            max_cycles=3_000_000,
+        )
+        stats = system.run()
+        return stats.cycles, stats.instructions
+
+    first, second = run(), run()
+    _check(first == second, f"nondeterministic: {first} vs {second}")
+    return f"two runs identical at {first[0]} cycles"
+
+
+CHECKS: tuple[tuple[str, Callable[[], str]], ...] = (
+    ("table2", check_table2_latencies),
+    ("synchronization", check_synchronization),
+    ("fft-math", check_fft_math),
+    ("mesi", check_mesi_invariants),
+    ("accounting", check_accounting),
+    ("determinism", check_determinism),
+)
+
+
+def run_selfcheck(verbose: bool = True) -> bool:
+    """Run every check; returns True when all pass."""
+    all_ok = True
+    for name, check in CHECKS:
+        started = time.perf_counter()
+        try:
+            detail = check()
+            status = "ok"
+        except SelfCheckFailure as failure:
+            detail = str(failure)
+            status = "FAIL"
+            all_ok = False
+        elapsed = time.perf_counter() - started
+        if verbose:
+            print(f"[{status:>4}] {name:<16} {detail} ({elapsed:.2f}s)")
+    return all_ok

@@ -1,0 +1,150 @@
+"""First-class parameter sweeps.
+
+The evaluation's ablations all have the same shape: vary one knob, run
+the architecture matrix at each value, collect a table. This module
+makes that a one-liner and returns structured results the CLI, the
+examples, and the benchmark harnesses can all render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.configs import ARCHITECTURES
+from repro.core.experiment import (
+    ExperimentResult,
+    WorkloadFactory,
+    run_architecture_comparison,
+)
+from repro.core.report import normalized_times
+from repro.errors import ConfigError
+
+
+@dataclass
+class SweepResult:
+    """Outcome of sweeping one field over several values."""
+
+    field: str
+    values: list = field(default_factory=list)
+    #: value -> {arch -> ExperimentResult}
+    runs: dict = field(default_factory=dict)
+
+    def cycles(self, value, arch: str) -> int:
+        """Cycle count for one (value, architecture) point."""
+        return self.runs[value][arch].cycles
+
+    def normalized(self, value, baseline: str = "shared-mem") -> dict:
+        """Normalized times at one sweep point."""
+        return normalized_times(self.runs[value], baseline=baseline)
+
+    def series(self, arch: str) -> list[int]:
+        """Cycle counts for one architecture across the sweep."""
+        return [self.cycles(value, arch) for value in self.values]
+
+    def table(self) -> str:
+        """Plain-text cycles table (values x architectures)."""
+        archs = list(next(iter(self.runs.values()))) if self.runs else []
+        header = f"{self.field:>14}" + "".join(
+            f"{arch:>13}" for arch in archs
+        )
+        lines = [header, "-" * len(header)]
+        for value in self.values:
+            row = f"{value!s:>14}"
+            for arch in archs:
+                row += f"{self.runs[value][arch].cycles:>13}"
+            lines.append(row)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary of the sweep."""
+        return {
+            "field": self.field,
+            "values": list(self.values),
+            "cycles": {
+                str(value): {
+                    arch: result.cycles
+                    for arch, result in self.runs[value].items()
+                }
+                for value in self.values
+            },
+        }
+
+
+def sweep_mem_field(
+    factory: WorkloadFactory,
+    sweep_field: str,
+    values: Sequence,
+    cpu_model: str = "mipsy",
+    scale: str = "test",
+    n_cpus: int = 4,
+    archs: tuple[str, ...] = ARCHITECTURES,
+    max_cycles: int | None = 50_000_000,
+    base_overrides: dict | None = None,
+) -> SweepResult:
+    """Sweep one :class:`~repro.mem.hierarchy.MemConfig` field.
+
+    ``base_overrides`` (applied at every point) lets a sweep run on top
+    of a non-default configuration — e.g. Ocean's 1/4-scale caches.
+    """
+    if not values:
+        raise ConfigError("sweep needs at least one value")
+    result = SweepResult(field=sweep_field, values=list(values))
+    for value in values:
+        overrides = dict(base_overrides or {})
+        overrides[sweep_field] = value
+        result.runs[value] = run_architecture_comparison(
+            factory,
+            cpu_model=cpu_model,
+            scale=scale,
+            n_cpus=n_cpus,
+            archs=archs,
+            max_cycles=max_cycles,
+            mem_config_overrides=overrides,
+        )
+    return result
+
+
+def sweep_cpu_count(
+    factory: WorkloadFactory,
+    counts: Sequence[int] = (1, 2, 4),
+    cpu_model: str = "mipsy",
+    scale: str = "test",
+    archs: tuple[str, ...] = ARCHITECTURES,
+    max_cycles: int | None = 50_000_000,
+) -> dict[str, dict[int, ExperimentResult]]:
+    """Run each architecture at several CPU counts.
+
+    Returns ``{arch: {n_cpus: result}}``; self-relative speedups are
+    ``result[arch][1].cycles / result[arch][n].cycles``.
+    """
+    if not counts:
+        raise ConfigError("sweep needs at least one CPU count")
+    table: dict[str, dict[int, ExperimentResult]] = {}
+    for arch in archs:
+        table[arch] = {}
+        for n_cpus in counts:
+            runs = run_architecture_comparison(
+                factory,
+                cpu_model=cpu_model,
+                scale=scale,
+                n_cpus=n_cpus,
+                archs=(arch,),
+                max_cycles=max_cycles,
+            )
+            table[arch][n_cpus] = runs[arch]
+    return table
+
+
+def speedup_table(
+    results: dict[str, dict[int, ExperimentResult]],
+) -> dict[str, dict[int, float]]:
+    """Self-relative speedups from a :func:`sweep_cpu_count` result."""
+    table: dict[str, dict[int, float]] = {}
+    for arch, by_count in results.items():
+        counts = sorted(by_count)
+        base = by_count[counts[0]].cycles
+        table[arch] = {
+            count: base / by_count[count].cycles for count in counts
+        }
+    return table

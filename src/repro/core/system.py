@@ -1,0 +1,168 @@
+"""System assembly and the global run loop.
+
+A :class:`System` is one architecture + one CPU model + one workload.
+The run loop advances simulated time cycle by cycle, ticking every CPU
+whose ``resume`` time has arrived, in a rotating order so that no CPU
+systematically wins ties for shared resources. When every CPU is
+stalled, the loop fast-forwards to the earliest resume time — spin
+loops and long memory stalls cost no host time beyond the instructions
+actually executed.
+"""
+
+from __future__ import annotations
+
+from repro.core.configs import CpuParams, build_memory
+from repro.cpu.mipsy import MipsyCpu
+from repro.cpu.mxs import MxsCpu
+from repro.errors import ConfigError, DeadlockError
+from repro.mem.functional import FunctionalMemory
+from repro.mem.hierarchy import MemConfig
+from repro.sim.engine import Engine
+from repro.sim.stats import SystemStats
+from repro.workloads.base import Workload
+
+#: If no CPU retires an instruction for this many cycles, the workload
+#: is livelocked (a synchronization bug) and the run aborts.
+DEFAULT_DEADLOCK_HORIZON = 2_000_000
+
+
+class System:
+    """One complete simulated machine bound to a workload."""
+
+    def __init__(
+        self,
+        arch: str,
+        workload: Workload,
+        cpu_model: str = "mipsy",
+        mem_config: MemConfig | None = None,
+        cpu_params: CpuParams | None = None,
+        max_cycles: int | None = None,
+        deadlock_horizon: int = DEFAULT_DEADLOCK_HORIZON,
+    ) -> None:
+        self.arch = arch
+        self.workload = workload
+        self.cpu_model = cpu_model
+        config = mem_config if mem_config is not None else MemConfig()
+        if config.n_cpus != workload.n_cpus:
+            raise ConfigError(
+                f"memory config has {config.n_cpus} CPUs but the workload "
+                f"was built for {workload.n_cpus}"
+            )
+        if cpu_model == "mipsy":
+            # Section 4: Mipsy deliberately models the shared L1
+            # optimistically (1-cycle hit, no bank contention).
+            config.shared_l1_optimistic = True
+        elif cpu_model == "mxs":
+            config.shared_l1_optimistic = False
+        else:
+            raise ConfigError(
+                f"unknown CPU model {cpu_model!r}; expected 'mipsy' or 'mxs'"
+            )
+        self.config = config
+        self.stats = SystemStats.for_cpus(config.n_cpus)
+        self.functional = workload.functional
+        self.memory = build_memory(arch, config, self.stats)
+        self.engine = Engine()
+        self.max_cycles = max_cycles
+        self.deadlock_horizon = deadlock_horizon
+        #: set when the run stopped at max_cycles instead of completing
+        self.truncated = False
+
+        self.cpus = []
+        for cpu_id in range(config.n_cpus):
+            program = workload.program(cpu_id)
+            if cpu_model == "mipsy":
+                cpu = MipsyCpu(
+                    cpu_id, self.memory, self.functional, self.stats, program
+                )
+            else:
+                cpu = MxsCpu(
+                    cpu_id,
+                    self.memory,
+                    self.functional,
+                    self.stats,
+                    program,
+                    params=cpu_params or CpuParams(),
+                )
+            self.cpus.append(cpu)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SystemStats:
+        """Run the workload to completion; returns the statistics."""
+        cycle = 0
+        active = list(self.cpus)
+        n_cpus = len(active)
+        last_progress_cycle = 0
+        last_instruction_count = 0
+        engine = self.engine
+        max_cycles = self.max_cycles
+        # The watchdog needs no per-cycle precision; checking it (and
+        # the engine) every so often keeps sums out of the hot loop.
+        watchdog_stride = 4096
+        next_watchdog = watchdog_stride
+
+        while active:
+            if engine.peek_time() is not None:
+                engine.run_until(cycle)
+
+            n_active = len(active)
+            rotation = cycle % n_cpus
+            finished = False
+            for index in range(n_active):
+                cpu = active[(index + rotation) % n_active]
+                if not cpu.done and cpu.resume <= cycle:
+                    cpu.tick(cycle)
+                    if cpu.done:
+                        finished = True
+            if finished:
+                active = [cpu for cpu in active if not cpu.done]
+                if not active:
+                    break
+
+            if cycle >= next_watchdog:
+                next_watchdog = cycle + watchdog_stride
+                # Deadlock watchdog: progress means retired instructions.
+                total_instructions = sum(
+                    cpu.instructions for cpu in self.cpus
+                )
+                if total_instructions > last_instruction_count:
+                    last_instruction_count = total_instructions
+                    last_progress_cycle = cycle
+                elif cycle - last_progress_cycle > self.deadlock_horizon:
+                    raise DeadlockError(
+                        cycle,
+                        detail=(
+                            f"{len(active)} CPUs spinning, "
+                            f"{total_instructions} instructions retired"
+                        ),
+                    )
+
+            if max_cycles is not None and cycle >= max_cycles:
+                self.truncated = True
+                break
+
+            # Fast-forward to the next cycle anyone can make progress.
+            next_cycle = cycle + 1
+            earliest = active[0].resume
+            for cpu in active:
+                if cpu.resume < earliest:
+                    earliest = cpu.resume
+            if earliest > next_cycle:
+                next_cycle = earliest
+            pending = engine.peek_time()
+            if pending is not None and pending < next_cycle:
+                next_cycle = pending if pending > cycle else cycle + 1
+            cycle = next_cycle
+
+        end_cycle = max((cpu.resume for cpu in self.cpus), default=cycle)
+        end_cycle = max(end_cycle, self.memory.drain(cycle))
+        if not self.truncated:
+            # In-flight-state invariants only hold for completed runs.
+            for cpu in self.cpus:
+                cpu.finish(end_cycle)
+        self.stats.cycles = end_cycle
+        self.stats.instructions = sum(cpu.instructions for cpu in self.cpus)
+        if not self.truncated:
+            self.workload.validate()
+        return self.stats

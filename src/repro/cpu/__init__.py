@@ -1,0 +1,18 @@
+"""CPU models.
+
+Two models, mirroring the paper's SimOS setup:
+
+* :class:`~repro.cpu.mipsy.MipsyCpu` — the simple model: in-order, one
+  instruction per cycle, stalls for every memory operation that takes
+  longer than a cycle. All of Figures 4-10 use it.
+* :class:`~repro.cpu.mxs.MxsCpu` — the detailed model: 2-way-issue
+  dynamic superscalar with a 32-entry instruction window, 32-entry
+  reorder buffer, 1024-entry BTB, speculative execution, and a
+  non-blocking data cache with four outstanding misses. Figure 11.
+"""
+
+from repro.cpu.base import BaseCpu
+from repro.cpu.mipsy import MipsyCpu
+from repro.cpu.mxs import MxsCpu
+
+__all__ = ["BaseCpu", "MipsyCpu", "MxsCpu"]

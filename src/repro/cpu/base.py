@@ -1,0 +1,126 @@
+"""Common machinery shared by the CPU models.
+
+A CPU executes a *thread program*: a generator of
+:class:`~repro.isa.instructions.Instruction` records produced by a
+workload. The base class owns the generator protocol (including sending
+loaded values back into the program for synchronization spins) and the
+functional side effects of memory instructions (publishing store values
+to the timed functional memory, LL/SC semantics).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generator
+
+from repro.isa.instructions import Instruction, OpClass
+from repro.mem.functional import FunctionalMemory
+from repro.mem.hierarchy import MemorySystem
+from repro.mem.types import AccessResult
+from repro.sim.stats import SystemStats
+
+ThreadProgram = Generator[Instruction, object, None]
+
+
+class BaseCpu(ABC):
+    """One simulated processor bound to a thread program."""
+
+    def __init__(
+        self,
+        cpu_id: int,
+        memory: MemorySystem,
+        functional: FunctionalMemory,
+        stats: SystemStats,
+        program: ThreadProgram,
+    ) -> None:
+        self.cpu_id = cpu_id
+        self.memory = memory
+        self.functional = functional
+        self.stats = stats
+        self.breakdown = stats.breakdowns[cpu_id]
+        self.program = program
+        self.done = False
+        self.instructions = 0
+        self.resume = 0
+        self._line_shift = memory.config.line_size.bit_length() - 1
+        self._l1i_stats = stats.cache(f"cpu{cpu_id}.l1i")
+        self._has_value = False
+        self._send_value: object = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # thread-program protocol
+
+    def next_instruction(self) -> Instruction | None:
+        """Pull the next instruction, delivering any pending load value.
+
+        Returns ``None`` when the program finishes.
+        """
+        try:
+            if self._has_value:
+                self._has_value = False
+                value, self._send_value = self._send_value, None
+                return self.program.send(value)
+            self._started = True
+            return next(self.program)
+        except StopIteration:
+            return None
+
+    def deliver_value(self, value: object) -> None:
+        """Queue a loaded value for the program's next resumption."""
+        self._has_value = True
+        self._send_value = value
+
+    @property
+    def awaiting_value_delivery(self) -> bool:
+        return self._has_value
+
+    # ------------------------------------------------------------------
+    # functional side effects of memory instructions
+
+    def apply_memory_semantics(
+        self, inst: Instruction, result: AccessResult
+    ) -> bool:
+        """Perform value reads/writes for a completed memory instruction.
+
+        Returns ``True`` if a value was queued for the program (the
+        caller must not pull the next instruction before the program is
+        resumed with it).
+        """
+        op = inst.op
+        if op is OpClass.LOAD:
+            if inst.want_value:
+                self.deliver_value(
+                    self.functional.read(
+                        inst.addr, result.done, cpu=self.cpu_id
+                    )
+                )
+                return True
+            return False
+        if op is OpClass.LL:
+            self.deliver_value(
+                self.functional.load_linked(self.cpu_id, inst.addr, result.done)
+            )
+            return True
+        if op is OpClass.SC:
+            success = self.functional.store_conditional(
+                self.cpu_id, inst.addr, inst.value or 0, result.visible_cycle
+            )
+            self.deliver_value(1 if success else 0)
+            return True
+        # Plain store: publish the value (if any) at visibility time.
+        if inst.value is not None:
+            self.functional.write(
+                inst.addr, inst.value, result.visible_cycle, cpu=self.cpu_id
+            )
+        return False
+
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def tick(self, cycle: int) -> None:
+        """Advance this CPU at ``cycle`` (called once per cycle while
+        ``resume <= cycle`` and not ``done``)."""
+
+    def finish(self, cycle: int) -> None:
+        """Hook called once when the whole system run ends."""

@@ -1,0 +1,91 @@
+"""The Mipsy CPU model — the paper's simple, in-order simulator.
+
+"Mipsy is an instruction set simulator that models all instructions
+with a one cycle result latency and a one cycle repeat rate" and
+"stalls for all memory operations that take longer than a cycle"
+(Sections 3.1 and 4). Every instruction therefore contributes exactly
+one CPU-busy cycle; instruction-fetch misses and data-memory time
+beyond one cycle appear as stall cycles attributed to the level of the
+hierarchy that serviced the access. This makes the Figures 4-10
+execution-time breakdowns straightforward: total time = busy + stalls.
+
+Synchronization spin loops run as real instructions (load + branch per
+iteration), so time spent waiting at locks and barriers shows up as CPU
+time exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.base import BaseCpu
+from repro.isa.instructions import OpClass
+from repro.mem.types import AccessKind, StallLevel
+
+
+class MipsyCpu(BaseCpu):
+    """In-order, blocking, one-instruction-per-cycle CPU."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._fetch_line = -1
+
+    def tick(self, cycle: int) -> None:
+        """Execute at most one instruction starting at ``cycle``.
+
+        Sets ``resume`` to the cycle at which the next instruction may
+        start (the run loop skips ticks until then).
+        """
+        inst = self.next_instruction()
+        if inst is None:
+            self.done = True
+            return
+
+        breakdown = self.breakdown
+        memory = self.memory
+        cpu_id = self.cpu_id
+
+        # Instruction fetch: sequential fetches within the current cache
+        # line hit by construction; only line crossings and branch
+        # targets probe the I-cache.
+        self._l1i_stats.reads += 1
+        exec_start = cycle
+        fetch_line = inst.pc >> self._line_shift
+        if fetch_line != self._fetch_line:
+            self._fetch_line = fetch_line
+            fetch = memory.access(cpu_id, AccessKind.IFETCH, inst.pc, cycle)
+            if fetch.done - cycle > 1:
+                breakdown.istall += fetch.done - cycle - 1
+                exec_start = fetch.done - 1
+
+        breakdown.busy += 1
+        self.instructions += 1
+
+        op = inst.op
+        if op is OpClass.LOAD or op is OpClass.LL:
+            result = memory.access(cpu_id, AccessKind.LOAD, inst.addr, exec_start)
+        elif op is OpClass.STORE:
+            result = memory.access(cpu_id, AccessKind.STORE, inst.addr, exec_start)
+        elif op is OpClass.SC:
+            result = memory.access(
+                cpu_id, AccessKind.STORE_COND, inst.addr, exec_start
+            )
+        else:
+            self.resume = exec_start + 1
+            return
+
+        stall = result.done - exec_start - 1
+        if stall > 0:
+            level = result.level
+            if level == StallLevel.L2:
+                breakdown.l2 += stall
+            elif level == StallLevel.MEM:
+                breakdown.mem += stall
+            elif level == StallLevel.C2C:
+                breakdown.c2c += stall
+            elif level == StallLevel.L1:
+                breakdown.l1d += stall
+            elif level == StallLevel.STOREBUF:
+                breakdown.storebuf += stall
+            else:
+                breakdown.l1d += stall
+        self.apply_memory_semantics(inst, result)
+        self.resume = result.done

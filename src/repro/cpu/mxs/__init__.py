@@ -1,0 +1,14 @@
+"""The MXS CPU model — the paper's detailed dynamic superscalar.
+
+Section 2.1: a 2-way-issue processor with dynamic scheduling,
+speculative execution and non-blocking caches; a 32-entry centralized
+instruction window, a 32-entry reorder buffer, a 1024-entry branch
+target buffer, and the Table-1 functional-unit latencies, with two
+copies of every functional unit except the memory data port.
+"""
+
+from repro.cpu.mxs.btb import BranchTargetBuffer
+from repro.cpu.mxs.funits import FunctionalUnits
+from repro.cpu.mxs.core import MxsCpu
+
+__all__ = ["BranchTargetBuffer", "FunctionalUnits", "MxsCpu"]

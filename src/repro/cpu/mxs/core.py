@@ -1,0 +1,426 @@
+"""The MXS pipeline: fetch / issue / execute / graduate.
+
+The model follows Section 2.1 of the paper: a decoupled pipeline in
+which up to two instructions per cycle enter a 32-entry centralized
+window, issue out of order as their operands become ready (limited by
+two copies of every functional unit except the single memory data
+port), and graduate in order, two per cycle, from a 32-entry reorder
+buffer. The data cache is non-blocking with four MSHRs; branches are
+predicted with a 1024-entry BTB and a misprediction stalls fetch until
+the branch resolves (wrong-path fetch bubbles — the first-order cost of
+speculation; wrong-path cache pollution is not modeled, see DESIGN.md).
+
+IPC-loss accounting (Figure 11): every cycle offers ``width``
+graduation slots; unfilled slots are attributed to the reason the ROB
+head (or, with an empty ROB, the fetch stage) is blocked —
+instruction-cache stall, data-cache stall, or pipeline stall. The extra
+shared-L1 hit latency and bank contention appear as pipeline stalls,
+exactly as the paper counts them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cpu.base import BaseCpu
+from repro.cpu.mxs.btb import BranchTargetBuffer
+from repro.cpu.mxs.funits import FunctionalUnits
+from repro.errors import SimulationError
+from repro.isa.instructions import FU_LATENCY, Instruction, OpClass
+from repro.mem.mshr import MshrFile
+from repro.mem.types import AccessKind, StallLevel
+
+_INF = 1 << 60
+
+#: StallLevel values that mean "the data cache missed".
+_MISS_LEVELS = frozenset(
+    (StallLevel.L2, StallLevel.MEM, StallLevel.C2C)
+)
+
+#: Fetch-block reasons.
+_BLOCK_ICACHE = "icache"
+_BLOCK_BRANCH = "branch"
+_BLOCK_VALUE = "value"
+
+
+class _Record:
+    """One in-flight instruction in the window/ROB."""
+
+    __slots__ = (
+        "seq",
+        "inst",
+        "issued",
+        "done",
+        "dcache_miss",
+        "extra_hit_latency",
+        "mispredicted",
+    )
+
+    def __init__(self, seq: int, inst: Instruction) -> None:
+        self.seq = seq
+        self.inst = inst
+        self.issued = False
+        self.done = _INF
+        self.dcache_miss = False
+        self.extra_hit_latency = False
+        self.mispredicted = False
+
+
+class MxsCpu(BaseCpu):
+    """2-way dynamic superscalar with non-blocking data cache."""
+
+    def __init__(self, *args, params=None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        from repro.core.configs import CpuParams
+
+        self.params = params or CpuParams()
+        self.btb = BranchTargetBuffer(self.params.btb_entries)
+        self.fus = FunctionalUnits()
+        self.mshrs = MshrFile(self.params.mshrs)
+        self.mxs = self.stats.mxs[self.cpu_id]
+        self.rob: deque[_Record] = deque()
+        self._by_seq: dict[int, _Record] = {}
+        self._seq = 0
+        self._fetch_line = -1
+        self._fetch_unblock = 0
+        self._fetch_reason: str | None = None
+        self._blocked_record: _Record | None = None
+        self._pending_inst: Instruction | None = None
+        self._program_done = False
+
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """One pipeline cycle: graduate, issue, fetch, then pick the
+        next cycle this CPU can make progress."""
+        mxs = self.mxs
+        mxs.cycles += 1
+        mxs.window_occupancy_sum += len(self.rob)
+        width = self.params.width
+
+        graduated = self._graduate(cycle)
+        lost = width - graduated
+        lost_reason = None
+        if lost > 0:
+            lost_reason = self._attribute_lost_slots(lost)
+
+        issued = self._issue(cycle)
+        mxs.issued += issued
+        fetched = self._fetch(cycle)
+        if fetched == 0 and not self._program_done:
+            mxs.fetch_stall_cycles += 1
+
+        if self._program_done and not self.rob:
+            self.done = True
+            return
+
+        if graduated or issued or fetched:
+            self.resume = cycle + 1
+            return
+
+        # Nothing happened: fast-forward to the next event, attributing
+        # the skipped cycles' graduation slots to the same cause.
+        next_event = self._next_event_time(cycle)
+        if next_event <= cycle + 1:
+            self.resume = cycle + 1
+            return
+        span = next_event - cycle - 1
+        mxs.cycles += span
+        mxs.window_occupancy_sum += len(self.rob) * span
+        if lost_reason == _BLOCK_ICACHE:
+            mxs.slots_lost_icache += width * span
+        elif lost_reason == "dcache":
+            mxs.slots_lost_dcache += width * span
+        else:
+            mxs.slots_lost_pipeline += width * span
+        self.resume = next_event
+
+    # ------------------------------------------------------------------
+    # graduate
+
+    def _graduate(self, cycle: int) -> int:
+        rob = self.rob
+        graduated = 0
+        width = self.params.width
+        mxs = self.mxs
+        while graduated < width and rob:
+            head = rob[0]
+            if not head.issued or head.done > cycle:
+                break
+            rob.popleft()
+            graduated += 1
+            mxs.graduated += 1
+            self.instructions += 1
+            self._by_seq.pop(head.seq - 128, None)
+        return graduated
+
+    def _attribute_lost_slots(self, lost: int) -> str:
+        """Charge unfilled graduation slots; returns the reason used."""
+        mxs = self.mxs
+        if self.rob:
+            head = self.rob[0]
+            if head.issued and head.dcache_miss:
+                mxs.slots_lost_dcache += lost
+                return "dcache"
+            # Unready dependences, FU latency, branch resolution, the
+            # extra shared-L1 hit time and bank contention all land here.
+            mxs.slots_lost_pipeline += lost
+            return "pipeline"
+        if self._fetch_reason == _BLOCK_ICACHE:
+            mxs.slots_lost_icache += lost
+            return _BLOCK_ICACHE
+        mxs.slots_lost_pipeline += lost
+        return "pipeline"
+
+    # ------------------------------------------------------------------
+    # issue
+
+    def _deps_ready(self, record: _Record, cycle: int) -> bool:
+        inst = record.inst
+        by_seq = self._by_seq
+        offset = inst.src1
+        if offset:
+            producer = by_seq.get(record.seq - offset)
+            if producer is not None and (
+                not producer.issued or producer.done > cycle
+            ):
+                return False
+        offset = inst.src2
+        if offset:
+            producer = by_seq.get(record.seq - offset)
+            if producer is not None and (
+                not producer.issued or producer.done > cycle
+            ):
+                return False
+        return True
+
+    def _issue(self, cycle: int) -> int:
+        issued = 0
+        width = self.params.width
+        window = self.params.window
+        scanned = 0
+        for record in self.rob:
+            if issued >= width:
+                break
+            scanned += 1
+            if scanned > window:
+                break
+            if record.issued:
+                continue
+            if not self._deps_ready(record, cycle):
+                continue
+            op = record.inst.op
+            if not self.fus.try_issue(op, cycle):
+                continue
+            if record.inst.is_memory:
+                if not self._issue_memory(record, cycle):
+                    # MSHRs full — leave it in the window.
+                    continue
+            elif op is OpClass.BRANCH:
+                self._issue_branch(record, cycle)
+            else:
+                record.issued = True
+                record.done = cycle + FU_LATENCY[op]
+            issued += 1
+        return issued
+
+    def _issue_branch(self, record: _Record, cycle: int) -> None:
+        inst = record.inst
+        record.issued = True
+        record.done = cycle + FU_LATENCY[OpClass.BRANCH]
+        self.btb.update(inst.pc, inst.taken, inst.target)
+        if record is self._blocked_record:
+            # Mispredicted: fetch restarts when the branch resolves.
+            if self.params.wrong_path_fetch:
+                self._fetch_wrong_path(record, cycle)
+            self._fetch_unblock = record.done
+            self._blocked_record = None
+
+    def _fetch_wrong_path(self, record: _Record, cycle: int) -> None:
+        """Fetch down the predicted (wrong) path until the branch
+        resolves: the squashed instructions cost nothing directly, but
+        their I-cache fills pollute the cache and occupy the refill
+        path — the second-order misprediction cost the default model
+        omits."""
+        inst = record.inst
+        predicted_taken, predicted_target = self.btb.predict(inst.pc)
+        wrong_pc = predicted_target if predicted_taken else inst.pc + 4
+        if wrong_pc == 0:
+            wrong_pc = inst.pc + 4
+        line_bytes = 1 << self._line_shift
+        # One wrong-path line per fetchable group of stall cycles.
+        stall = max(record.done - cycle, 1)
+        lines = max(stall * self.params.fetch_width * 4 // line_bytes, 1)
+        for index in range(min(lines, 4)):
+            addr = wrong_pc + index * line_bytes
+            self.memory.access(self.cpu_id, AccessKind.IFETCH, addr, cycle)
+            self.mxs.squashed += self.params.fetch_width
+
+    def _issue_memory(self, record: _Record, cycle: int) -> bool:
+        inst = record.inst
+        op = inst.op
+        memory = self.memory
+        if op is OpClass.LOAD or op is OpClass.LL:
+            line = inst.addr >> self._line_shift
+            self.mshrs.retire(cycle)
+            pending = self.mshrs.probe(line)
+            if pending is not None and pending > cycle:
+                # Merge with the in-flight fill of the same line.
+                self.mshrs.allocate(line, pending)  # counts the merge
+                record.issued = True
+                record.done = pending
+                record.dcache_miss = True
+                if inst.want_value or op is OpClass.LL:
+                    self._resolve_value(record)
+                return True
+            result = memory.access(
+                self.cpu_id, AccessKind.LOAD, inst.addr, cycle
+            )
+            if result.level in _MISS_LEVELS:
+                if self.mshrs.full:
+                    # Cannot track the miss; replay next cycle. The
+                    # access already reserved resources — accepted
+                    # imprecision of eager reservation, rare with a
+                    # 4-entry file.
+                    return False
+                self.mshrs.allocate(line, result.done)
+                record.dcache_miss = True
+            elif result.level == StallLevel.L1:
+                record.extra_hit_latency = True
+            record.issued = True
+            record.done = result.done
+            if inst.want_value or op is OpClass.LL:
+                self._resolve_value(record, result_done=result.done)
+            return True
+
+        # Stores and SCs.
+        kind = (
+            AccessKind.STORE_COND if op is OpClass.SC else AccessKind.STORE
+        )
+        result = memory.access(self.cpu_id, kind, inst.addr, cycle)
+        record.issued = True
+        if op is OpClass.SC:
+            # The SC outcome gates the program: complete at visibility.
+            record.done = result.visible_cycle
+            success = self.functional.store_conditional(
+                self.cpu_id, inst.addr, inst.value or 0, result.visible_cycle
+            )
+            self.deliver_value(1 if success else 0)
+            if record is self._blocked_record:
+                self._fetch_unblock = record.done
+                self._blocked_record = None
+        else:
+            # Plain stores retire from the write buffer's perspective:
+            # the ROB does not wait for the line.
+            record.done = cycle + 1
+            if inst.value is not None:
+                self.functional.write(
+                    inst.addr,
+                    inst.value,
+                    result.visible_cycle,
+                    cpu=self.cpu_id,
+                )
+        return True
+
+    def _resolve_value(self, record: _Record, result_done: int | None = None) -> None:
+        """Produce the loaded value for a want_value load or LL."""
+        done = result_done if result_done is not None else record.done
+        inst = record.inst
+        if inst.op is OpClass.LL:
+            value = self.functional.load_linked(self.cpu_id, inst.addr, done)
+        else:
+            value = self.functional.read(inst.addr, done, cpu=self.cpu_id)
+        self.deliver_value(value)
+        if record is self._blocked_record:
+            self._fetch_unblock = record.done
+            self._blocked_record = None
+
+    # ------------------------------------------------------------------
+    # fetch
+
+    def _fetch(self, cycle: int) -> int:
+        if self._program_done:
+            return 0
+        if self._fetch_unblock > cycle:
+            return 0
+        if self._blocked_record is not None:
+            return 0
+        self._fetch_reason = None
+
+        fetched = 0
+        params = self.params
+        rob = self.rob
+        memory = self.memory
+        while fetched < params.fetch_width:
+            if len(rob) >= params.rob:
+                break
+            inst = self._pending_inst
+            if inst is None:
+                inst = self.next_instruction()
+                if inst is None:
+                    self._program_done = True
+                    break
+            self._l1i_stats.reads += 1
+            line = inst.pc >> self._line_shift
+            if line != self._fetch_line:
+                self._fetch_line = line
+                result = memory.access(
+                    self.cpu_id, AccessKind.IFETCH, inst.pc, cycle
+                )
+                if result.done - cycle > 1:
+                    self._pending_inst = inst
+                    self._fetch_unblock = result.done
+                    self._fetch_reason = _BLOCK_ICACHE
+                    return fetched
+            self._pending_inst = None
+            record = _Record(self._seq, inst)
+            self._seq += 1
+            self._by_seq[record.seq] = record
+            rob.append(record)
+            fetched += 1
+            self.mxs.fetched += 1
+
+            op = inst.op
+            if op is OpClass.BRANCH:
+                self.mxs.branches += 1
+                if not self.btb.correct(inst.pc, inst.taken, inst.target):
+                    self.mxs.mispredicts += 1
+                    record.mispredicted = True
+                    self._blocked_record = record
+                    self._fetch_unblock = _INF
+                    self._fetch_reason = _BLOCK_BRANCH
+                    return fetched
+            elif inst.want_value or op is OpClass.LL or op is OpClass.SC:
+                # The program needs this value to generate what follows.
+                self._blocked_record = record
+                self._fetch_unblock = _INF
+                self._fetch_reason = _BLOCK_VALUE
+                return fetched
+        return fetched
+
+    # ------------------------------------------------------------------
+
+    def _next_event_time(self, cycle: int) -> int:
+        """Earliest future cycle at which pipeline state can change."""
+        earliest = _INF
+        for record in self.rob:
+            if record.issued and cycle < record.done < earliest:
+                earliest = record.done
+        if (
+            self._blocked_record is None
+            and not self._program_done
+            and self._fetch_unblock > cycle
+            and self._fetch_unblock < earliest
+        ):
+            earliest = self._fetch_unblock
+        if earliest == _INF:
+            return cycle + 1
+        return earliest
+
+    def finish(self, cycle: int) -> None:
+        """End-of-run invariant: the reorder buffer must have drained."""
+        if self.rob:
+            raise SimulationError(
+                f"cpu {self.cpu_id} finished with {len(self.rob)} "
+                "instructions in flight"
+            )

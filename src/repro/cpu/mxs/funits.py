@@ -1,0 +1,51 @@
+"""Functional-unit pool for the MXS model.
+
+"To eliminate structural hazards there are two copies of every
+functional unit except for the memory data port" (Section 2.1). All
+units are fully pipelined, so each unit accepts one operation per
+cycle; the pool therefore enforces a per-cycle, per-kind issue limit of
+two (one for memory operations).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import OpClass, fu_kind
+
+_UNITS_PER_KIND = {
+    "ialu": 2,
+    "imul": 2,
+    "idiv": 2,
+    "branch": 2,
+    "fadd": 2,
+    "fmul": 2,
+    "fdiv": 2,
+    "mem": 1,
+}
+
+
+class FunctionalUnits:
+    """Per-cycle issue-slot tracking for each functional-unit kind."""
+
+    __slots__ = ("_used", "_cycle", "structural_stalls")
+
+    def __init__(self) -> None:
+        self._used: dict[str, int] = {}
+        self._cycle = -1
+        self.structural_stalls = 0
+
+    def try_issue(self, op: OpClass, cycle: int) -> bool:
+        """Claim a unit of the right kind for this cycle."""
+        if cycle != self._cycle:
+            self._cycle = cycle
+            self._used.clear()
+        kind = fu_kind(op)
+        used = self._used.get(kind, 0)
+        if used >= _UNITS_PER_KIND[kind]:
+            self.structural_stalls += 1
+            return False
+        self._used[kind] = used + 1
+        return True
+
+    @staticmethod
+    def units_for(op: OpClass) -> int:
+        return _UNITS_PER_KIND[fu_kind(op)]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro simulator.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at the public-API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an impossible or unsupported state."""
+
+
+class DeadlockError(SimulationError):
+    """No CPU made forward progress for an implausibly long time.
+
+    Raised by the run loop when every processor has been stalled (or
+    spinning on synchronization variables that can never be released)
+    for more than the configured deadlock horizon.
+    """
+
+    def __init__(self, cycle: int, detail: str = "") -> None:
+        message = f"no forward progress by cycle {cycle}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.cycle = cycle
+        self.detail = detail
+
+
+class WorkloadError(ReproError):
+    """A workload definition or its parameters are invalid."""
+
+
+class ProtocolError(SimulationError):
+    """A cache-coherence invariant was violated."""

@@ -1,0 +1,29 @@
+"""Abstract instruction set executed by the CPU models.
+
+The simulator is execution-driven: workloads run the paper's algorithms
+in Python and emit a stream of typed instructions with real memory
+addresses. This package defines the instruction record
+(:class:`~repro.isa.instructions.Instruction`), the operation classes
+with the functional-unit latencies of the paper's Table 1, and the
+synthetic code layout machinery that gives every emitted instruction a
+program counter so instruction fetch exercises the I-cache realistically.
+"""
+
+from repro.isa.instructions import (
+    FU_LATENCY,
+    Instruction,
+    OpClass,
+    fu_kind,
+)
+from repro.isa.codegen import CodeRegion, CodeSpace
+from repro.isa.stream import Emitter
+
+__all__ = [
+    "FU_LATENCY",
+    "Instruction",
+    "OpClass",
+    "fu_kind",
+    "CodeRegion",
+    "CodeSpace",
+    "Emitter",
+]

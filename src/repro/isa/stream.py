@@ -1,0 +1,197 @@
+"""Instruction emission helpers for workload thread programs.
+
+A workload's per-CPU *thread program* is a Python generator that yields
+:class:`~repro.isa.instructions.Instruction` records. The
+:class:`Emitter` gives those records realistic program counters (so the
+I-cache sees loops as loops and big programs as big programs) and takes
+care of branch bookkeeping.
+
+Instructions are immutable once created: CPU models never modify them,
+so a thread program may construct the body of a hot loop once and yield
+the same objects every iteration — this is the main performance lever
+for the Python-level simulator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.isa.codegen import CodeRegion
+from repro.isa.instructions import Instruction, OpClass
+
+
+class Emitter:
+    """Constructs instructions with sequential PCs inside a code region.
+
+    The emitter keeps a cursor of the next instruction slot. Plain
+    instructions advance the cursor by one; branches move it to their
+    target when taken. :meth:`call` / :meth:`ret` switch regions with a
+    return stack, modeling the inter-function fetch behaviour that gives
+    large programs their I-cache footprint.
+    """
+
+    def __init__(self, region: CodeRegion, start_index: int = 0) -> None:
+        self.region = region
+        self._index = start_index
+        self._stack: list[tuple[CodeRegion, int]] = []
+
+    # ------------------------------------------------------------------
+    # cursor control
+
+    def label(self) -> int:
+        """The current instruction slot, usable as a branch target."""
+        return self._index
+
+    def jump(self, label: int) -> None:
+        """Move the cursor without emitting (e.g. after an unrolled exit)."""
+        self._index = label
+
+    def _pc(self) -> int:
+        pc = self.region.pc_of(self._index)
+        self._index += 1
+        return pc
+
+    # ------------------------------------------------------------------
+    # plain operations
+
+    def op(self, opclass: OpClass, src1: int = 0, src2: int = 0) -> Instruction:
+        """Emit one compute instruction of the given class."""
+        return Instruction(opclass, pc=self._pc(), src1=src1, src2=src2)
+
+    def ialu(self, src1: int = 0, src2: int = 0) -> Instruction:
+        """Emit an integer ALU instruction."""
+        return self.op(OpClass.IALU, src1, src2)
+
+    def imul(self, src1: int = 0, src2: int = 0) -> Instruction:
+        """Emit an integer multiply."""
+        return self.op(OpClass.IMUL, src1, src2)
+
+    def idiv(self, src1: int = 0, src2: int = 0) -> Instruction:
+        """Emit an integer divide."""
+        return self.op(OpClass.IDIV, src1, src2)
+
+    def fadd(self, dp: bool = True, src1: int = 0, src2: int = 0) -> Instruction:
+        """Emit a floating-point add (double precision by default)."""
+        return self.op(OpClass.FADD_DP if dp else OpClass.FADD_SP, src1, src2)
+
+    def fmul(self, dp: bool = True, src1: int = 0, src2: int = 0) -> Instruction:
+        """Emit a floating-point multiply."""
+        return self.op(OpClass.FMUL_DP if dp else OpClass.FMUL_SP, src1, src2)
+
+    def fdiv(self, dp: bool = True, src1: int = 0, src2: int = 0) -> Instruction:
+        """Emit a floating-point divide."""
+        return self.op(OpClass.FDIV_DP if dp else OpClass.FDIV_SP, src1, src2)
+
+    def ops(self, opclass: OpClass, count: int):
+        """Emit ``count`` independent instructions of one class."""
+        for _ in range(count):
+            yield self.op(opclass)
+
+    # ------------------------------------------------------------------
+    # memory operations
+
+    def load(
+        self,
+        addr: int,
+        want_value: bool = False,
+        src1: int = 0,
+    ) -> Instruction:
+        """Emit a load of ``addr``.
+
+        With ``want_value`` the CPU sends the loaded value (from the
+        timed functional memory) back into the thread program.
+        """
+        return Instruction(
+            OpClass.LOAD,
+            pc=self._pc(),
+            addr=addr,
+            want_value=want_value,
+            src1=src1,
+        )
+
+    def store(
+        self,
+        addr: int,
+        value: int | None = None,
+        src1: int = 0,
+    ) -> Instruction:
+        """Emit a store to ``addr``.
+
+        ``value`` (if given) is published to the timed functional memory
+        when the store completes; data stores whose values the
+        simulation never reads pass ``None``.
+        """
+        return Instruction(
+            OpClass.STORE,
+            pc=self._pc(),
+            addr=addr,
+            value=value,
+            src1=src1,
+        )
+
+    def ll(self, addr: int) -> Instruction:
+        """Emit a load-linked; the value always comes back to the program."""
+        return Instruction(
+            OpClass.LL, pc=self._pc(), addr=addr, want_value=True
+        )
+
+    def sc(self, addr: int, value: int) -> Instruction:
+        """Emit a store-conditional; success (1/0) comes back to the program."""
+        return Instruction(
+            OpClass.SC, pc=self._pc(), addr=addr, value=value, want_value=True
+        )
+
+    # ------------------------------------------------------------------
+    # control flow
+
+    def branch(
+        self,
+        taken: bool,
+        to: int | None = None,
+        src1: int = 0,
+    ) -> Instruction:
+        """Emit a conditional branch.
+
+        ``to`` is a label (instruction slot index in this region); when
+        the branch is taken the cursor moves there, otherwise it falls
+        through. Loops emit ``branch(taken=True, to=top)`` on every
+        iteration but the last.
+        """
+        pc = self.region.pc_of(self._index)
+        if taken:
+            if to is None:
+                raise WorkloadError("taken branch requires a target label")
+            self._index = to
+            target = self.region.pc_of(to)
+        else:
+            self._index += 1
+            target = self.region.pc_of(self._index)
+        return Instruction(
+            OpClass.BRANCH, pc=pc, taken=taken, target=target, src1=src1
+        )
+
+    def call(self, region: CodeRegion) -> Instruction:
+        """Emit a call (an always-taken branch) into another region."""
+        pc = self.region.pc_of(self._index)
+        self._stack.append((self.region, self._index + 1))
+        self.region = region
+        self._index = 0
+        return Instruction(
+            OpClass.BRANCH, pc=pc, taken=True, target=region.pc_of(0)
+        )
+
+    def ret(self) -> Instruction:
+        """Emit a return to the most recent :meth:`call` site."""
+        if not self._stack:
+            raise WorkloadError("ret with an empty call stack")
+        pc = self.region.pc_of(self._index)
+        self.region, self._index = self._stack.pop()
+        return Instruction(
+            OpClass.BRANCH,
+            pc=pc,
+            taken=True,
+            target=self.region.pc_of(self._index),
+        )
+
+    @property
+    def call_depth(self) -> int:
+        return len(self._stack)

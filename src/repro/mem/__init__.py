@@ -1,0 +1,38 @@
+"""Memory-system models for the three multiprocessor architectures.
+
+The package provides the building blocks (cache arrays, banked
+resources, buses, crossbars, main memory, coherence engines, the timed
+functional memory used for synchronization) and one complete memory
+system per architecture studied in the paper:
+
+* :class:`~repro.mem.shared_l1.SharedL1System` — four CPUs share a
+  banked write-back L1 data cache through a crossbar;
+* :class:`~repro.mem.shared_l2.SharedL2System` — private write-through
+  L1s over a shared, banked write-back L2 with directory invalidation;
+* :class:`~repro.mem.shared_mem.SharedMemorySystem` — private L1+L2 per
+  CPU kept coherent by a snoopy MESI bus with cache-to-cache transfers.
+"""
+
+from repro.mem.types import AccessKind, AccessResult, StallLevel
+from repro.mem.cache import CacheArray, CacheLine
+from repro.mem.bank import BankedResource, Resource
+from repro.mem.functional import FunctionalMemory
+from repro.mem.hierarchy import MemorySystem
+from repro.mem.shared_l1 import SharedL1System
+from repro.mem.shared_l2 import SharedL2System
+from repro.mem.shared_mem import SharedMemorySystem
+
+__all__ = [
+    "AccessKind",
+    "AccessResult",
+    "StallLevel",
+    "CacheArray",
+    "CacheLine",
+    "BankedResource",
+    "Resource",
+    "FunctionalMemory",
+    "MemorySystem",
+    "SharedL1System",
+    "SharedL2System",
+    "SharedMemorySystem",
+]

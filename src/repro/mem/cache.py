@@ -1,0 +1,216 @@
+"""Set-associative cache array with LRU replacement.
+
+The array models tags and line state only (the simulator is
+timing-directed; data values for synchronization live in the timed
+functional memory). Lines carry MESI-style states; simple write-back
+caches use just ``SHARED`` (valid-clean) and ``MODIFIED`` (valid-dirty),
+while the shared-memory architecture's snoopy protocol uses the full
+MESI set.
+
+LRU is kept by dict insertion order within each set: a hit re-inserts
+the tag at the back, eviction pops the front. This is the fastest pure
+Python LRU available and is exact.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterator
+
+from repro.errors import ConfigError
+from repro.mem.classify import InvalidationTracker
+from repro.sim.stats import MissKind
+
+
+class LineState(IntEnum):
+    """MESI line states (simple caches use SHARED/MODIFIED only)."""
+
+    INVALID = 0
+    SHARED = 1
+    EXCLUSIVE = 2
+    MODIFIED = 3
+
+
+class CacheLine:
+    """Tag-array entry for one resident line."""
+
+    __slots__ = ("line_addr", "state")
+
+    def __init__(self, line_addr: int, state: LineState) -> None:
+        self.line_addr = line_addr
+        self.state = state
+
+    @property
+    def dirty(self) -> bool:
+        return self.state == LineState.MODIFIED
+
+    def __repr__(self) -> str:
+        return f"<CacheLine {self.line_addr:#x} {self.state.name}>"
+
+
+def _log2_exact(value: int, what: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise ConfigError(f"{what} must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+class CacheArray:
+    """One cache's tag array: set-associative, LRU, write-back capable.
+
+    Addresses are byte addresses; the array works internally in line
+    addresses (byte address >> line-size bits). Statistics are *not*
+    counted here — the memory systems know the access semantics and
+    count into :class:`~repro.sim.stats.CacheStats` themselves; the
+    array only answers hit/miss/evict questions and tracks which misses
+    are invalidation misses.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        assoc: int,
+        line_size: int,
+    ) -> None:
+        if assoc <= 0:
+            raise ConfigError(f"associativity must be positive, got {assoc}")
+        self.line_shift = _log2_exact(line_size, "line size")
+        if size % (line_size * assoc):
+            raise ConfigError(
+                f"cache size {size} is not divisible by "
+                f"line_size*assoc = {line_size * assoc}"
+            )
+        n_sets = size // (line_size * assoc)
+        self.set_bits = _log2_exact(n_sets, "number of sets")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.n_sets = n_sets
+        self._set_mask = n_sets - 1
+        self._sets: list[dict[int, CacheLine]] = [{} for _ in range(n_sets)]
+        self.tracker = InvalidationTracker()
+
+    # ------------------------------------------------------------------
+    # address helpers
+
+    def line_addr_of(self, addr: int) -> int:
+        """Line address (byte address without the offset bits)."""
+        return addr >> self.line_shift
+
+    def set_index_of(self, line_addr: int) -> int:
+        """Set index a line address maps to."""
+        return line_addr & self._set_mask
+
+    # ------------------------------------------------------------------
+    # core operations
+
+    def lookup(self, addr: int, update_lru: bool = True) -> CacheLine | None:
+        """Probe for the line containing byte address ``addr``.
+
+        Returns the resident line (refreshing LRU unless told not to)
+        or ``None`` on a miss.
+        """
+        line_addr = addr >> self.line_shift
+        cache_set = self._sets[line_addr & self._set_mask]
+        line = cache_set.get(line_addr)
+        if line is not None and update_lru:
+            del cache_set[line_addr]
+            cache_set[line_addr] = line
+        return line
+
+    def classify_miss(self, addr: int) -> MissKind:
+        """Classify a miss on ``addr`` (call only after a failed lookup)."""
+        return self.tracker.classify(addr >> self.line_shift)
+
+    def insert(
+        self,
+        addr: int,
+        state: LineState = LineState.SHARED,
+    ) -> CacheLine | None:
+        """Fill the line containing ``addr``; return the evicted victim.
+
+        The victim (``None`` if the set had room) is returned so the
+        caller can issue a writeback if it was dirty and propagate
+        inclusion invalidations. If the line is already resident its
+        state is overwritten and LRU refreshed.
+        """
+        line_addr = addr >> self.line_shift
+        cache_set = self._sets[line_addr & self._set_mask]
+        existing = cache_set.get(line_addr)
+        if existing is not None:
+            del cache_set[line_addr]
+            existing.state = state
+            cache_set[line_addr] = existing
+            return None
+        victim = None
+        if len(cache_set) >= self.assoc:
+            victim_addr = next(iter(cache_set))
+            victim = cache_set.pop(victim_addr)
+        cache_set[line_addr] = CacheLine(line_addr, state)
+        self.tracker.note_fill(line_addr)
+        return victim
+
+    def invalidate(self, addr: int, coherence: bool = True) -> CacheLine | None:
+        """Remove the line containing ``addr`` if resident.
+
+        With ``coherence=True`` (an invalidation caused by another
+        processor or by inclusion), the next miss on this line counts
+        as an invalidation miss. Returns the removed line (so the
+        caller can write back dirty data) or ``None``.
+        """
+        line_addr = addr >> self.line_shift
+        cache_set = self._sets[line_addr & self._set_mask]
+        line = cache_set.pop(line_addr, None)
+        if line is not None and coherence:
+            self.tracker.note_invalidation(line_addr)
+        return line
+
+    def downgrade(self, addr: int) -> CacheLine | None:
+        """Drop the line containing ``addr`` to SHARED if resident.
+
+        Used when a snoop hits a MODIFIED/EXCLUSIVE copy on a remote
+        read: the owner supplies the data and keeps a shared copy.
+        """
+        line = self.lookup(addr, update_lru=False)
+        if line is not None:
+            line.state = LineState.SHARED
+        return line
+
+    # ------------------------------------------------------------------
+    # introspection (tests, invariant checks, reports)
+
+    def contains(self, addr: int) -> bool:
+        """Residency probe without touching LRU state."""
+        line_addr = addr >> self.line_shift
+        return line_addr in self._sets[line_addr & self._set_mask]
+
+    def state_of(self, addr: int) -> LineState:
+        """The line's MESI state (INVALID when absent); no LRU update."""
+        line = self.lookup(addr, update_lru=False)
+        return line.state if line is not None else LineState.INVALID
+
+    def lines(self) -> Iterator[CacheLine]:
+        """Iterate over every resident line (for checks and reports)."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def resident_count(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    def set_occupancy(self, set_index: int) -> int:
+        """Resident lines in one set (must never exceed the associativity)."""
+        return len(self._sets[set_index])
+
+    def flush(self) -> list[CacheLine]:
+        """Empty the cache, returning the dirty lines (for writeback)."""
+        dirty = [line for line in self.lines() if line.dirty]
+        self._sets = [{} for _ in range(self.n_sets)]
+        return dirty
+
+    def __repr__(self) -> str:
+        return (
+            f"<CacheArray {self.name!r} {self.size}B "
+            f"{self.assoc}-way {self.line_size}B lines>"
+        )

@@ -1,0 +1,44 @@
+"""Miss classification: replacement vs. invalidation misses.
+
+The paper breaks every cache's local miss rate into a *replacement*
+component (cold, capacity and conflict misses — L1R/L2R) and an
+*invalidation* component (misses on lines that were removed by a
+coherence action — L1I/L2I). The tracker here remembers which line
+addresses left a cache because of coherence; the next miss on such a
+line is an invalidation miss, after which the line is forgotten (a
+later eviction of the refetched line is an ordinary replacement).
+"""
+
+from __future__ import annotations
+
+from repro.sim.stats import MissKind
+
+
+class InvalidationTracker:
+    """Remembers lines removed from one cache by coherence actions."""
+
+    __slots__ = ("_invalidated",)
+
+    def __init__(self) -> None:
+        self._invalidated: set[int] = set()
+
+    def note_invalidation(self, line_addr: int) -> None:
+        """A coherence action removed ``line_addr`` from the cache."""
+        self._invalidated.add(line_addr)
+
+    def note_fill(self, line_addr: int) -> None:
+        """The cache refetched ``line_addr``; future misses on it are
+        replacement misses again."""
+        self._invalidated.discard(line_addr)
+
+    def classify(self, line_addr: int) -> MissKind:
+        """Classify a miss on ``line_addr``."""
+        if line_addr in self._invalidated:
+            return MissKind.MISS_INVALIDATION
+        return MissKind.MISS_REPLACEMENT
+
+    def __len__(self) -> int:
+        return len(self._invalidated)
+
+    def __contains__(self, line_addr: int) -> bool:
+        return line_addr in self._invalidated

@@ -1,0 +1,19 @@
+"""Coherence engines.
+
+Two mechanisms, matching the paper:
+
+* :mod:`~repro.mem.coherence.directory` — the shared-L2 architecture
+  keeps a directory entry per L2 line naming the L1 caches that hold a
+  copy; writes and L2 replacements invalidate the copies (Section 2.3);
+* :mod:`~repro.mem.coherence.mesi` — the shared-memory architecture's
+  snoopy MESI protocol over the system bus, with cache-to-cache
+  transfers of dirty lines (Section 2.4).
+
+The shared-L1 architecture needs neither: the processors communicate
+through a single cache, which is the point of the design.
+"""
+
+from repro.mem.coherence.directory import Directory
+from repro.mem.coherence.mesi import SnoopController
+
+__all__ = ["Directory", "SnoopController"]

@@ -1,0 +1,158 @@
+"""Snoopy MESI coherence for the shared-memory architecture.
+
+Every bus transaction is snooped by the other three processors' cache
+pairs (L1 data + L2, L2 inclusive of L1). The controller implements the
+state transitions; the *timing* of the transactions (bus occupancy,
+memory vs. cache-to-cache latency) is charged by
+:class:`~repro.mem.shared_mem.SharedMemorySystem` using the result
+returned here.
+
+States follow the classic invalidation protocol:
+
+* remote read of a MODIFIED line → owner supplies data cache-to-cache
+  and keeps a SHARED copy;
+* remote read of an EXCLUSIVE/SHARED line → memory supplies, holders
+  drop to SHARED;
+* remote write (read-for-ownership or upgrade) → every other copy is
+  invalidated; a MODIFIED owner supplies the data cache-to-cache.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.mem.cache import CacheArray, LineState
+from repro.sim.stats import CacheStats
+
+
+class SnoopController:
+    """Applies MESI state changes across the private cache pairs."""
+
+    def __init__(
+        self,
+        l1ds: list[CacheArray],
+        l2s: list[CacheArray],
+        l1d_stats: list[CacheStats],
+        l2_stats: list[CacheStats],
+    ) -> None:
+        if len(l1ds) != len(l2s):
+            raise ProtocolError("need one L2 per L1")
+        self.l1ds = l1ds
+        self.l2s = l2s
+        self.l1d_stats = l1d_stats
+        self.l2_stats = l2_stats
+        self.n_cpus = len(l1ds)
+
+    # ------------------------------------------------------------------
+    # snoop actions
+
+    def snoop_read(self, requester: int, addr: int) -> str:
+        """A read miss went to the bus; adjust remote states.
+
+        Returns ``"c2c"`` if a MODIFIED owner supplies the data, else
+        ``"mem"``. Either way every remote copy ends up SHARED.
+        """
+        source = "mem"
+        for cpu in range(self.n_cpus):
+            if cpu == requester:
+                continue
+            l2_line = self.l2s[cpu].lookup(addr, update_lru=False)
+            if l2_line is None:
+                continue
+            if l2_line.state == LineState.MODIFIED:
+                source = "c2c"
+            l2_line.state = LineState.SHARED
+            l1_line = self.l1ds[cpu].lookup(addr, update_lru=False)
+            if l1_line is not None:
+                if l1_line.state == LineState.MODIFIED:
+                    source = "c2c"
+                l1_line.state = LineState.SHARED
+        return source
+
+    def snoop_write(self, requester: int, addr: int) -> str:
+        """A write miss (read-for-ownership) went to the bus.
+
+        Invalidates every remote copy; returns ``"c2c"`` if a MODIFIED
+        owner supplied the dirty data, else ``"mem"``.
+        """
+        source = "mem"
+        for cpu in range(self.n_cpus):
+            if cpu == requester:
+                continue
+            l2_line = self.l2s[cpu].lookup(addr, update_lru=False)
+            if l2_line is None:
+                continue
+            if l2_line.state == LineState.MODIFIED:
+                source = "c2c"
+            self.l2s[cpu].invalidate(addr, coherence=True)
+            self.l2_stats[cpu].invalidations_received += 1
+            l1_line = self.l1ds[cpu].lookup(addr, update_lru=False)
+            if l1_line is not None:
+                if l1_line.state == LineState.MODIFIED:
+                    source = "c2c"
+                self.l1ds[cpu].invalidate(addr, coherence=True)
+                self.l1d_stats[cpu].invalidations_received += 1
+        return source
+
+    def upgrade(self, requester: int, addr: int) -> int:
+        """Invalidate-only transaction for a write hit on a SHARED line.
+
+        Returns the number of remote copies invalidated.
+        """
+        invalidated = 0
+        for cpu in range(self.n_cpus):
+            if cpu == requester:
+                continue
+            if self.l2s[cpu].invalidate(addr, coherence=True) is not None:
+                self.l2_stats[cpu].invalidations_received += 1
+                invalidated += 1
+            if self.l1ds[cpu].invalidate(addr, coherence=True) is not None:
+                self.l1d_stats[cpu].invalidations_received += 1
+        return invalidated
+
+    def any_remote_copy(self, requester: int, addr: int) -> bool:
+        """Does any other processor cache this line (L2 check suffices
+        because L2 includes L1)?"""
+        for cpu in range(self.n_cpus):
+            if cpu == requester:
+                continue
+            if self.l2s[cpu].lookup(addr, update_lru=False) is not None:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # invariants (used by tests and debug runs)
+
+    def check_invariants(self) -> None:
+        """Raise :class:`ProtocolError` on MESI violations.
+
+        Checked: at most one processor holds a line MODIFIED or
+        EXCLUSIVE; if anyone holds it MODIFIED/EXCLUSIVE, nobody else
+        holds it at all; L1 residency implies L2 residency (inclusion).
+        """
+        owners: dict[int, int] = {}
+        holders: dict[int, set[int]] = {}
+        for cpu in range(self.n_cpus):
+            for line in self.l2s[cpu].lines():
+                holders.setdefault(line.line_addr, set()).add(cpu)
+                if line.state in (LineState.MODIFIED, LineState.EXCLUSIVE):
+                    if line.line_addr in owners:
+                        raise ProtocolError(
+                            f"line {line.line_addr:#x} owned by both CPU "
+                            f"{owners[line.line_addr]} and CPU {cpu}"
+                        )
+                    owners[line.line_addr] = cpu
+            for line in self.l1ds[cpu].lines():
+                if not self.l2s[cpu].contains(
+                    line.line_addr << self.l2s[cpu].line_shift
+                ):
+                    raise ProtocolError(
+                        f"inclusion violated: CPU {cpu} L1 holds "
+                        f"{line.line_addr:#x} but its L2 does not"
+                    )
+        for line_addr, owner in owners.items():
+            others = holders.get(line_addr, set()) - {owner}
+            if others:
+                raise ProtocolError(
+                    f"line {line_addr:#x} owned by CPU {owner} but also "
+                    f"cached by {sorted(others)}"
+                )

@@ -1,0 +1,199 @@
+"""Memory-system configuration and the common interface.
+
+:class:`MemConfig` collects every geometry and timing knob for the
+three architectures; the per-architecture presets in
+:mod:`repro.core.configs` fill it in with the paper's Table 2 numbers.
+:class:`MemorySystem` is the interface the CPU models drive.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.mem.bus import BusTiming
+from repro.mem.types import AccessKind, AccessResult
+from repro.sim.stats import CacheStats, MissKind, SystemStats
+
+
+def count_miss(
+    cache_stats: CacheStats, miss_kind: MissKind, is_store: bool
+) -> None:
+    """Record a classified miss in the right CacheStats bucket."""
+    if miss_kind == MissKind.MISS_INVALIDATION:
+        if is_store:
+            cache_stats.write_misses_inval += 1
+        else:
+            cache_stats.read_misses_inval += 1
+    else:
+        if is_store:
+            cache_stats.write_misses_repl += 1
+        else:
+            cache_stats.read_misses_repl += 1
+
+
+@dataclass
+class MemConfig:
+    """Geometry and timing of the memory hierarchy.
+
+    Sizes are bytes, latencies/occupancies are CPU cycles. The defaults
+    are the paper's values (Table 2 and Section 2); the scaled presets
+    in :mod:`repro.core.configs` shrink the *sizes* only — latencies are
+    the object of study and never scale.
+    """
+
+    n_cpus: int = 4
+    line_size: int = 32
+
+    # Private per-CPU instruction cache (all architectures).
+    l1i_size: int = 16 * 1024
+    l1i_assoc: int = 2
+
+    # L1 data cache: private in shared-L2/shared-memory, one shared
+    # banked array of n_cpus * l1d_size bytes in shared-L1.
+    l1d_size: int = 16 * 1024
+    l1d_assoc: int = 2
+
+    # Unified L2.
+    l2_size: int = 2 * 1024 * 1024
+    l2_assoc: int = 1
+
+    # Table 2 timings.
+    l1_latency: int = 1
+    l1_occupancy: int = 1
+    shared_l1_latency: int = 3     # through the crossbar
+    l2_latency: int = 10
+    l2_occupancy: int = 2
+    shared_l2_latency: int = 14    # crossbar + extra die crossings
+    shared_l2_occupancy: int = 4   # 64-bit datapath, 32-byte line
+    mem_latency: int = 50
+    mem_occupancy: int = 6
+
+    # Banking / buffering. Main memory is "uniprocessor-like": its
+    # internal multibanking is what gets the per-access occupancy down
+    # to 6 cycles, but accesses serialize on the one memory bus.
+    n_l1_banks: int = 4
+    n_l2_banks: int = 4
+    n_mem_banks: int = 1
+    write_buffer_depth: int = 8
+    mshr_entries: int = 4
+
+    # Mipsy runs the shared-L1 architecture optimistically (1-cycle hit,
+    # no bank contention) per Section 4; MXS turns this off.
+    shared_l1_optimistic: bool = False
+
+    # Shared-L2 L1 coherence policy (Section 2.3: "all processors
+    # caching the line must receive invalidates or updates").
+    # "invalidate" drops remote copies; "update" refreshes them in
+    # place — spinners keep hitting locally but every write busies the
+    # sharers' caches.
+    l1_coherence: str = "invalidate"
+
+    bus: BusTiming = field(default_factory=BusTiming)
+
+    def __post_init__(self) -> None:
+        if self.n_cpus <= 0:
+            raise ConfigError("n_cpus must be positive")
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ConfigError("line_size must be a power of two")
+        for name in ("l1i_size", "l1d_size", "l2_size"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.write_buffer_depth <= 0:
+            raise ConfigError("write_buffer_depth must be positive")
+        if self.l1_coherence not in ("invalidate", "update"):
+            raise ConfigError(
+                "l1_coherence must be 'invalidate' or 'update', got "
+                f"{self.l1_coherence!r}"
+            )
+
+    @property
+    def shared_l1_size(self) -> int:
+        """The shared L1 pools the per-CPU capacity (4 x 16 KB = 64 KB)."""
+        return self.l1d_size * self.n_cpus
+
+    def scaled(self, divisor: int) -> "MemConfig":
+        """A copy with every cache size divided by ``divisor``.
+
+        Timings, line size, and bank/buffer counts are untouched: the
+        paper's latency numbers are the design points under study and
+        the scaling policy (DESIGN.md Section 5) only shrinks
+        capacities together with the workload inputs.
+        """
+        if divisor <= 0:
+            raise ConfigError("scale divisor must be positive")
+
+        def shrink(size: int) -> int:
+            scaled_size = size // divisor
+            minimum = self.line_size * 4
+            return scaled_size if scaled_size >= minimum else minimum
+
+        return MemConfig(
+            n_cpus=self.n_cpus,
+            line_size=self.line_size,
+            l1i_size=shrink(self.l1i_size),
+            l1i_assoc=self.l1i_assoc,
+            l1d_size=shrink(self.l1d_size),
+            l1d_assoc=self.l1d_assoc,
+            l2_size=shrink(self.l2_size),
+            l2_assoc=self.l2_assoc,
+            l1_latency=self.l1_latency,
+            l1_occupancy=self.l1_occupancy,
+            shared_l1_latency=self.shared_l1_latency,
+            l2_latency=self.l2_latency,
+            l2_occupancy=self.l2_occupancy,
+            shared_l2_latency=self.shared_l2_latency,
+            shared_l2_occupancy=self.shared_l2_occupancy,
+            mem_latency=self.mem_latency,
+            mem_occupancy=self.mem_occupancy,
+            n_l1_banks=self.n_l1_banks,
+            n_l2_banks=self.n_l2_banks,
+            n_mem_banks=self.n_mem_banks,
+            write_buffer_depth=self.write_buffer_depth,
+            mshr_entries=self.mshr_entries,
+            shared_l1_optimistic=self.shared_l1_optimistic,
+            l1_coherence=self.l1_coherence,
+            bus=self.bus,
+        )
+
+
+class MemorySystem(ABC):
+    """Interface between the CPU models and a memory architecture.
+
+    One call per dynamic memory operation or I-cache-line fetch:
+    :meth:`access` applies all state changes (fills, evictions,
+    coherence actions) and returns when the access completes and which
+    level serviced it. The CPU attributes stall time from the result.
+    """
+
+    #: short name used in reports ("shared-l1", "shared-l2", "shared-mem")
+    name: str = "abstract"
+
+    def __init__(self, config: MemConfig, stats: SystemStats) -> None:
+        self.config = config
+        self.stats = stats
+
+    @abstractmethod
+    def access(
+        self, cpu: int, kind: AccessKind, addr: int, at: int
+    ) -> AccessResult:
+        """Perform one access for ``cpu`` starting at cycle ``at``."""
+
+    def line_addr(self, addr: int) -> int:
+        """Line address of a byte address under this configuration."""
+        return addr // self.config.line_size
+
+    def drain(self, at: int) -> int:
+        """Cycle by which all posted work (write buffers) completes."""
+        return at
+
+    def resource_report(self, cycles: int) -> dict[str, float]:
+        """Utilization (busy fraction of ``cycles``) per shared resource.
+
+        Keys are short resource names; implementations report the
+        ports, banks, buses and memory modules that can bottleneck
+        them. Used by the CLI and the reports to show *where* the time
+        went, not just how much.
+        """
+        return {}

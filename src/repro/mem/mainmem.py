@@ -1,0 +1,49 @@
+"""Main-memory model.
+
+The paper assumes a multibanked DRAM main memory with a 50-cycle
+latency and a 6-cycle occupancy per access (Section 2.2). We model it
+as a banked resource: each access occupies its bank for the occupancy
+and returns data after the latency.
+"""
+
+from __future__ import annotations
+
+from repro.mem.bank import BankedResource
+
+
+class MainMemory:
+    """Multibanked DRAM: fixed latency, per-bank occupancy."""
+
+    def __init__(
+        self,
+        latency: int = 50,
+        occupancy: int = 6,
+        n_banks: int = 4,
+        line_size: int = 32,
+        name: str = "dram",
+    ) -> None:
+        self.latency = latency
+        self.occupancy = occupancy
+        self.banks = BankedResource(name, n_banks, line_size)
+        self.reads = 0
+        self.writes = 0
+
+    def access(self, addr: int, at: int) -> int:
+        """Read the line holding ``addr``; returns data-ready cycle."""
+        self.reads += 1
+        start = self.banks.acquire(addr, at, self.occupancy)
+        return start + self.latency
+
+    def write_back(self, addr: int, at: int) -> int:
+        """Accept a writeback; returns the cycle the bank is done.
+
+        Writebacks are posted — the evicting cache does not wait — but
+        they occupy the bank and so delay later demand accesses.
+        """
+        self.writes += 1
+        start = self.banks.acquire(addr, at, self.occupancy)
+        return start + self.occupancy
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes

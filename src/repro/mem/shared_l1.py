@@ -1,0 +1,216 @@
+"""The shared-L1 (shared primary cache) architecture — paper Section 2.2.
+
+Four CPUs share one 4-way-banked write-back L1 *data* cache through a
+crossbar; instruction caches stay private per CPU. The crossbar and
+bank arbitration raise the L1 data hit time from 1 cycle to 3, and
+references from different CPUs can conflict in the banks — except under
+the Mipsy model, which the paper deliberately runs optimistically
+(1-cycle hits, no bank contention; ``MemConfig.shared_l1_optimistic``).
+
+Below the shared L1 the chip looks like a uniprocessor: one unified L2
+(10-cycle latency, 2-cycle occupancy over a 128-bit bus) and main
+memory (50/6). No inter-CPU coherence machinery exists anywhere — the
+processors communicate by construction inside the one data cache.
+"""
+
+from __future__ import annotations
+
+from repro.mem.bank import Resource
+from repro.mem.cache import CacheArray, LineState
+from repro.mem.crossbar import Crossbar
+from repro.mem.hierarchy import MemConfig, MemorySystem, count_miss
+from repro.mem.mainmem import MainMemory
+from repro.mem.types import AccessKind, AccessResult, StallLevel
+from repro.mem.writebuffer import WriteBuffer
+from repro.sim.stats import SystemStats
+
+
+class SharedL1System(MemorySystem):
+    """Crossbar-connected shared L1 data cache over a private L2/memory."""
+
+    name = "shared-l1"
+
+    def __init__(self, config: MemConfig, stats: SystemStats) -> None:
+        super().__init__(config, stats)
+        line = config.line_size
+        self.l1i = [
+            CacheArray(f"cpu{i}.l1i", config.l1i_size, config.l1i_assoc, line)
+            for i in range(config.n_cpus)
+        ]
+        self._l1i_stats = [
+            stats.cache(f"cpu{i}.l1i") for i in range(config.n_cpus)
+        ]
+        self.l1d = CacheArray(
+            "shared.l1d", config.shared_l1_size, config.l1d_assoc, line
+        )
+        self._l1d_stats = stats.cache("shared.l1d")
+        self.crossbar = Crossbar(
+            "l1.xbar",
+            config.n_l1_banks,
+            line,
+            latency=config.shared_l1_latency,
+            occupancy=config.l1_occupancy,
+            n_ports=config.n_cpus,
+        )
+        self.l2 = CacheArray("chip.l2", config.l2_size, config.l2_assoc, line)
+        self._l2_stats = stats.cache("chip.l2")
+        self.l2_port = Resource("chip.l2.port")
+        self.mem = MainMemory(
+            config.mem_latency,
+            config.mem_occupancy,
+            config.n_mem_banks,
+            line,
+        )
+        self._store_buffers = [
+            WriteBuffer(config.write_buffer_depth)
+            for _ in range(config.n_cpus)
+        ]
+
+    def drain(self, at: int) -> int:
+        """Completion time of everything still in the store buffers."""
+        latest = at
+        for buffer in self._store_buffers:
+            t = buffer.drain_time(at)
+            if t > latest:
+                latest = t
+        return latest
+
+    def resource_report(self, cycles: int) -> dict[str, float]:
+        """Busy fractions of the L1 banks, L2 port and memory."""
+        report = {
+            "l2.port": self.l2_port.utilization(cycles),
+            "memory": self.mem.banks.busy_cycles / cycles if cycles else 0.0,
+        }
+        for index, bank in enumerate(self.crossbar.banks.banks):
+            report[f"l1.bank{index}"] = bank.utilization(cycles)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def access(
+        self, cpu: int, kind: AccessKind, addr: int, at: int
+    ) -> AccessResult:
+        """Dispatch one access through the shared-L1 request paths."""
+        if kind == AccessKind.IFETCH:
+            return self._ifetch(cpu, addr, at)
+        if kind == AccessKind.LOAD:
+            return self._load(cpu, addr, at)
+        return self._store(cpu, addr, at, posted=kind == AccessKind.STORE)
+
+    # ------------------------------------------------------------------
+
+    def _ifetch(self, cpu: int, addr: int, at: int) -> AccessResult:
+        cache = self.l1i[cpu]
+        if cache.lookup(addr) is not None:
+            return AccessResult(at + 1, StallLevel.NONE)
+        cache_stats = self._l1i_stats[cpu]
+        cache_stats.read_misses_repl += 1  # code is never invalidated
+        done, level = self._l2_access(addr, at + 1, is_store=False)
+        cache.insert(addr, LineState.SHARED)
+        return AccessResult(done, level)
+
+    def _load(self, cpu: int, addr: int, at: int) -> AccessResult:
+        self._l1d_stats.reads += 1
+        done, level = self._data_path(cpu, addr, at, is_store=False)
+        return AccessResult(done, level)
+
+    def _store(
+        self, cpu: int, addr: int, at: int, posted: bool
+    ) -> AccessResult:
+        """Stores post through the write buffer; SCs wait out the path."""
+        self._l1d_stats.writes += 1
+        if not posted:
+            done, level = self._data_path(cpu, addr, at, is_store=True)
+            return AccessResult(done, level)
+        buffer = self._store_buffers[cpu]
+        release, stalled = buffer.admit(at)
+        # The drain enters the memory pipeline now; only the CPU is
+        # held back when the buffer is full.
+        complete, _level = self._data_path(cpu, addr, at, is_store=True)
+        visible = buffer.push(complete)
+        level = StallLevel.STOREBUF if stalled else StallLevel.NONE
+        return AccessResult(release + 1, level, visible=visible)
+
+    def _data_path(
+        self, cpu: int, addr: int, at: int, is_store: bool
+    ) -> tuple[int, StallLevel]:
+        """The shared-L1 access pipeline common to loads and stores."""
+        if self.config.shared_l1_optimistic:
+            hit_done = at + 1
+        else:
+            ready, _wait = self.crossbar.access(addr, at, port=cpu)
+            hit_done = ready
+
+        line = self.l1d.lookup(addr)
+        if line is not None:
+            if is_store:
+                line.state = LineState.MODIFIED
+            level = StallLevel.NONE if hit_done - at <= 1 else StallLevel.L1
+            return hit_done, level
+
+        miss_kind = self.l1d.classify_miss(addr)
+        count_miss(self._l1d_stats, miss_kind, is_store)
+        done, level = self._l2_access(addr, hit_done, is_store=is_store)
+        fill_state = LineState.MODIFIED if is_store else LineState.SHARED
+        victim = self.l1d.insert(addr, fill_state)
+        if victim is not None and victim.dirty:
+            # The writeback drains from the victim buffer opportunistically;
+            # reserving the port at the *initiating* time keeps the busy
+            # timeline causal (a future reservation would head-of-line
+            # block demand misses arriving in between).
+            self._write_back_to_l2(
+                victim.line_addr << self.l1d.line_shift, hit_done
+            )
+        return done, level
+
+    # ------------------------------------------------------------------
+
+    def _l2_access(
+        self, addr: int, at: int, is_store: bool
+    ) -> tuple[int, StallLevel]:
+        """Access the chip-level L2; returns (done, serving level)."""
+        config = self.config
+        start = self.l2_port.acquire(at, config.l2_occupancy)
+        if is_store:
+            self._l2_stats.writes += 1
+        else:
+            self._l2_stats.reads += 1
+        if self.l2.lookup(addr) is not None:
+            return start + config.l2_latency, StallLevel.L2
+
+        miss_kind = self.l2.classify_miss(addr)
+        count_miss(self._l2_stats, miss_kind, is_store)
+        done = self.mem.access(addr, start + config.l2_latency)
+        victim = self.l2.insert(addr, LineState.SHARED)
+        if victim is not None:
+            self._handle_l2_eviction(victim, start)
+        return done, StallLevel.MEM
+
+    def _handle_l2_eviction(self, victim, at: int) -> None:
+        """Maintain inclusion and write dirty victims to memory."""
+        victim_addr = victim.line_addr << self.l2.line_shift
+        self._l2_stats.evictions += 1
+        dirty = victim.dirty
+        # Inclusion: the shared L1 data cache may not keep a line the L2
+        # no longer holds. Replacement-caused, so it does not count as
+        # an invalidation miss later. Instruction lines are read-only
+        # and need no coherence, so the I-caches are exempt from
+        # inclusion (as in real designs).
+        l1_line = self.l1d.invalidate(victim_addr, coherence=False)
+        if l1_line is not None and l1_line.dirty:
+            dirty = True
+        if dirty:
+            self._l2_stats.writebacks += 1
+            self.mem.write_back(victim_addr, at)
+
+    def _write_back_to_l2(self, addr: int, at: int) -> None:
+        """Posted write-back of a dirty shared-L1 victim into the L2."""
+        self._l1d_stats.writebacks += 1
+        self.l2_port.acquire(at, self.config.l2_occupancy)
+        line = self.l2.lookup(addr, update_lru=False)
+        if line is not None:
+            line.state = LineState.MODIFIED
+        # Inclusion means the line is normally present; if it raced out,
+        # the data goes to memory instead.
+        if line is None:
+            self.mem.write_back(addr, at)

@@ -1,0 +1,238 @@
+"""The shared-L2 (shared secondary cache) architecture — paper Section 2.3.
+
+Each CPU keeps a private, single-cycle, *write-through* L1 pair; all
+four share a 4-banked write-back L2 behind a crossbar chip. The
+crossbar and extra die crossings raise the L2 latency from 10 to 14
+cycles, and its 64-bit datapath doubles the per-line occupancy from 2
+to 4 cycles.
+
+Coherence is the simple directory scheme the paper describes: every L2
+line has a directory entry naming the L1s that hold a copy; a write (as
+it drains through the write buffer into the L2) or an L2 replacement
+invalidates the other copies. Stores release the CPU in one cycle while
+a per-CPU write buffer drains them into the L2 banks — the resulting
+port contention between write traffic and L1 miss refills is exactly
+the effect the paper blames for this architecture's loss on the OS
+workload.
+"""
+
+from __future__ import annotations
+
+from repro.mem.cache import CacheArray, LineState
+from repro.mem.coherence.directory import Directory
+from repro.mem.crossbar import Crossbar
+from repro.mem.hierarchy import MemConfig, MemorySystem, count_miss
+from repro.mem.mainmem import MainMemory
+from repro.mem.types import AccessKind, AccessResult, StallLevel
+from repro.mem.writebuffer import WriteBuffer
+from repro.sim.stats import SystemStats
+
+
+class SharedL2System(MemorySystem):
+    """Private write-through L1s over a shared, banked, write-back L2."""
+
+    name = "shared-l2"
+
+    def __init__(self, config: MemConfig, stats: SystemStats) -> None:
+        super().__init__(config, stats)
+        line = config.line_size
+        n_cpus = config.n_cpus
+        self.l1i = [
+            CacheArray(f"cpu{i}.l1i", config.l1i_size, config.l1i_assoc, line)
+            for i in range(n_cpus)
+        ]
+        self._l1i_stats = [stats.cache(f"cpu{i}.l1i") for i in range(n_cpus)]
+        self.l1d = [
+            CacheArray(f"cpu{i}.l1d", config.l1d_size, config.l1d_assoc, line)
+            for i in range(n_cpus)
+        ]
+        self._l1d_stats = [stats.cache(f"cpu{i}.l1d") for i in range(n_cpus)]
+        self.l2 = CacheArray("shared.l2", config.l2_size, config.l2_assoc, line)
+        self._l2_stats = stats.cache("shared.l2")
+        self.crossbar = Crossbar(
+            "l2.xbar",
+            config.n_l2_banks,
+            line,
+            latency=config.shared_l2_latency,
+            occupancy=config.shared_l2_occupancy,
+            n_ports=n_cpus,
+        )
+        self.directory = Directory()
+        self.mem = MainMemory(
+            config.mem_latency,
+            config.mem_occupancy,
+            config.n_mem_banks,
+            line,
+        )
+        # Per-CPU write buffers draining into the L2 banks.
+        self._write_buffers = [
+            WriteBuffer(config.write_buffer_depth) for _ in range(n_cpus)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def access(
+        self, cpu: int, kind: AccessKind, addr: int, at: int
+    ) -> AccessResult:
+        """Dispatch one access through the shared-L2 request paths."""
+        if kind == AccessKind.IFETCH:
+            return self._ifetch(cpu, addr, at)
+        if kind == AccessKind.LOAD:
+            return self._load(cpu, addr, at)
+        return self._store(cpu, addr, at, posted=kind == AccessKind.STORE)
+
+    # ------------------------------------------------------------------
+
+    def _ifetch(self, cpu: int, addr: int, at: int) -> AccessResult:
+        cache = self.l1i[cpu]
+        if cache.lookup(addr) is not None:
+            return AccessResult(at + 1, StallLevel.NONE)
+        self._l1i_stats[cpu].read_misses_repl += 1
+        done, level = self._l2_read(cpu, addr, at + 1)
+        cache.insert(addr, LineState.SHARED)
+        return AccessResult(done, level)
+
+    def _load(self, cpu: int, addr: int, at: int) -> AccessResult:
+        cache = self.l1d[cpu]
+        cache_stats = self._l1d_stats[cpu]
+        cache_stats.reads += 1
+        if cache.lookup(addr) is not None:
+            return AccessResult(at + 1, StallLevel.NONE)
+
+        miss_kind = cache.classify_miss(addr)
+        count_miss(cache_stats, miss_kind, is_store=False)
+        done, level = self._l2_read(cpu, addr, at + 1)
+        victim = cache.insert(addr, LineState.SHARED)
+        line_addr = addr >> cache.line_shift
+        self.directory.add_holder(line_addr, cpu)
+        if victim is not None:
+            cache_stats.evictions += 1
+            self.directory.remove_holder(victim.line_addr, cpu)
+        return AccessResult(done, level)
+
+    def _store(
+        self, cpu: int, addr: int, at: int, posted: bool
+    ) -> AccessResult:
+        """Write-through, no-allocate store via the per-CPU write buffer.
+
+        The CPU is released after one cycle unless the buffer is full,
+        in which case it waits for the oldest drain to finish. The value
+        becomes visible to other CPUs when the drain reaches the L2
+        (``AccessResult.visible``). Store-conditionals are not posted —
+        the CPU waits for the drain itself.
+        """
+        cache = self.l1d[cpu]
+        cache_stats = self._l1d_stats[cpu]
+        cache_stats.writes += 1
+        cache_stats.write_throughs += 1
+        # Write-through: a resident copy is updated in place and stays
+        # valid; a store miss does not allocate.
+        cache.lookup(addr)
+
+        if posted:
+            release, stalled = self._write_buffers[cpu].admit(at)
+        else:
+            release, stalled = at, False
+        # The drain enters the L2 pipeline now; only the CPU is held
+        # back when the buffer is full.
+        drain_done = self._l2_write_drain(cpu, addr, at)
+
+        line_addr = addr >> cache.line_shift
+        if self.config.l1_coherence == "update":
+            # Write-update: sharers' copies are refreshed in place; the
+            # broadcast costs one word transfer on the writer's
+            # crossbar port per live sharer.
+            for other in self.directory.holders(line_addr, excluding=cpu):
+                if self.l1d[other].lookup(addr, update_lru=False) is None:
+                    # The sharer silently dropped the line; stop
+                    # updating it.
+                    self.directory.remove_holder(line_addr, other)
+                    continue
+                self._l1d_stats[other].updates_received += 1
+                self.crossbar.access(addr, at, port=cpu, occupancy=1)
+        else:
+            victims = self.directory.invalidate_for_write(line_addr, cpu)
+            for other in victims:
+                if self.l1d[other].invalidate(addr, coherence=True) is not None:
+                    self._l1d_stats[other].invalidations_received += 1
+
+        if not posted:
+            return AccessResult(drain_done, StallLevel.L2, visible=drain_done)
+        visible = self._write_buffers[cpu].push(drain_done)
+        level = StallLevel.STOREBUF if stalled else StallLevel.NONE
+        return AccessResult(release + 1, level, visible=visible)
+
+    # ------------------------------------------------------------------
+
+    def _l2_read(
+        self, cpu: int, addr: int, at: int
+    ) -> tuple[int, StallLevel]:
+        """Refill path: L1 miss (data or instruction) through the L2."""
+        ready, _wait = self.crossbar.access(addr, at, port=cpu)
+        self._l2_stats.reads += 1
+        if self.l2.lookup(addr) is not None:
+            return ready, StallLevel.L2
+        miss_kind = self.l2.classify_miss(addr)
+        count_miss(self._l2_stats, miss_kind, is_store=False)
+        done = self.mem.access(addr, ready)
+        victim = self.l2.insert(addr, LineState.SHARED)
+        if victim is not None:
+            self._handle_l2_eviction(victim, ready)
+        return done, StallLevel.MEM
+
+    def _l2_write_drain(self, cpu: int, addr: int, at: int) -> int:
+        """One write-buffer entry draining into its L2 bank.
+
+        The drain is a word write — one cycle on the 64-bit datapath;
+        only a write-allocate line fetch pays the full line-transfer
+        occupancy.
+        """
+        ready, _wait = self.crossbar.access(addr, at, port=cpu, occupancy=1)
+        self._l2_stats.writes += 1
+        line = self.l2.lookup(addr)
+        if line is not None:
+            line.state = LineState.MODIFIED
+            return ready
+        # Write-allocate in the (write-back) L2: fetch the line first.
+        miss_kind = self.l2.classify_miss(addr)
+        count_miss(self._l2_stats, miss_kind, is_store=True)
+        done = self.mem.access(addr, ready)
+        victim = self.l2.insert(addr, LineState.MODIFIED)
+        if victim is not None:
+            self._handle_l2_eviction(victim, ready)
+        return done
+
+    def _handle_l2_eviction(self, victim, at: int) -> None:
+        """L2 replacement: invalidate L1 copies (inclusion) and write
+        dirty data to memory."""
+        self._l2_stats.evictions += 1
+        victim_addr = victim.line_addr << self.l2.line_shift
+        for cpu in self.directory.clear(victim.line_addr):
+            # Replacement-caused, not communication: classify later
+            # misses on this line as replacement misses.
+            self.l1d[cpu].invalidate(victim_addr, coherence=False)
+        if victim.dirty:
+            self._l2_stats.writebacks += 1
+            self.mem.write_back(victim_addr, at)
+
+    # ------------------------------------------------------------------
+
+    def drain(self, at: int) -> int:
+        """Completion time of everything still in the write buffers."""
+        latest = at
+        for buffer in self._write_buffers:
+            t = buffer.drain_time(at)
+            if t > latest:
+                latest = t
+        return latest
+
+    def resource_report(self, cycles: int) -> dict[str, float]:
+        """Busy fractions of the crossbar ports, L2 banks and memory."""
+        report = {
+            "memory": self.mem.banks.busy_cycles / cycles if cycles else 0.0,
+        }
+        for index, port in enumerate(self.crossbar.ports):
+            report[f"l2.port{index}"] = port.utilization(cycles)
+        for index, bank in enumerate(self.crossbar.banks.banks):
+            report[f"l2.bank{index}"] = bank.utilization(cycles)
+        return report

@@ -1,0 +1,273 @@
+"""The conventional bus-based shared-memory architecture — paper §2.4.
+
+Each processor owns a full private hierarchy: single-cycle write-back
+L1 caches and a full-speed private L2 (10-cycle latency, 2-cycle
+occupancy). Communication happens only through the shared system bus:
+a miss that leaves the L2 arbitrates for the bus and is serviced either
+by main memory (50-cycle latency, 6-cycle occupancy) or — when another
+processor holds the line dirty — by a cache-to-cache transfer that the
+paper argues costs even more (">50 latency, >6 occupancy"), because all
+snoopers must check their tags and the owner must fetch the data out of
+an off-chip L2 that is busy with its own traffic.
+
+Both cache levels keep full snoopy MESI coherence, with L2 inclusive of
+L1 so the L2 tags can answer snoops for the pair.
+"""
+
+from __future__ import annotations
+
+from repro.mem.bank import Resource
+from repro.mem.bus import SnoopyBus
+from repro.mem.cache import CacheArray, CacheLine, LineState
+from repro.mem.coherence.mesi import SnoopController
+from repro.mem.hierarchy import MemConfig, MemorySystem, count_miss
+from repro.mem.types import AccessKind, AccessResult, StallLevel
+from repro.mem.writebuffer import WriteBuffer
+from repro.sim.stats import SystemStats
+
+
+class SharedMemorySystem(MemorySystem):
+    """Private L1+L2 per CPU over a snoopy MESI bus."""
+
+    name = "shared-mem"
+
+    def __init__(self, config: MemConfig, stats: SystemStats) -> None:
+        super().__init__(config, stats)
+        line = config.line_size
+        n_cpus = config.n_cpus
+        self.l1i = [
+            CacheArray(f"cpu{i}.l1i", config.l1i_size, config.l1i_assoc, line)
+            for i in range(n_cpus)
+        ]
+        self._l1i_stats = [stats.cache(f"cpu{i}.l1i") for i in range(n_cpus)]
+        self.l1d = [
+            CacheArray(f"cpu{i}.l1d", config.l1d_size, config.l1d_assoc, line)
+            for i in range(n_cpus)
+        ]
+        self._l1d_stats = [stats.cache(f"cpu{i}.l1d") for i in range(n_cpus)]
+        self.l2 = [
+            CacheArray(f"cpu{i}.l2", config.l2_size, config.l2_assoc, line)
+            for i in range(n_cpus)
+        ]
+        self._l2_stats = [stats.cache(f"cpu{i}.l2") for i in range(n_cpus)]
+        self.l2_ports = [Resource(f"cpu{i}.l2.port") for i in range(n_cpus)]
+        self.bus = SnoopyBus(config.bus)
+        self.snoop = SnoopController(
+            self.l1d, self.l2, self._l1d_stats, self._l2_stats
+        )
+        self._store_buffers = [
+            WriteBuffer(config.write_buffer_depth) for _ in range(n_cpus)
+        ]
+
+    def drain(self, at: int) -> int:
+        """Completion time of everything still in the store buffers."""
+        latest = at
+        for buffer in self._store_buffers:
+            t = buffer.drain_time(at)
+            if t > latest:
+                latest = t
+        return latest
+
+    def resource_report(self, cycles: int) -> dict[str, float]:
+        """Busy fractions of the system bus and the private L2 ports."""
+        report = {"bus": self.bus.resource.utilization(cycles)}
+        for index, port in enumerate(self.l2_ports):
+            report[f"cpu{index}.l2.port"] = port.utilization(cycles)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def access(
+        self, cpu: int, kind: AccessKind, addr: int, at: int
+    ) -> AccessResult:
+        """Dispatch one access through the bus-based request paths."""
+        if kind == AccessKind.IFETCH:
+            return self._ifetch(cpu, addr, at)
+        if kind == AccessKind.LOAD:
+            return self._load(cpu, addr, at)
+        return self._store(cpu, addr, at, posted=kind == AccessKind.STORE)
+
+    # ------------------------------------------------------------------
+
+    def _ifetch(self, cpu: int, addr: int, at: int) -> AccessResult:
+        cache = self.l1i[cpu]
+        if cache.lookup(addr) is not None:
+            return AccessResult(at + 1, StallLevel.NONE)
+        self._l1i_stats[cpu].read_misses_repl += 1
+        start = self.l2_ports[cpu].acquire(at + 1, self.config.l2_occupancy)
+        self._l2_stats[cpu].reads += 1
+        if self.l2[cpu].lookup(addr) is not None:
+            done = start + self.config.l2_latency
+            level = StallLevel.L2
+        else:
+            miss_kind = self.l2[cpu].classify_miss(addr)
+            count_miss(self._l2_stats[cpu], miss_kind, is_store=False)
+            done = self.bus.memory_read(start + self.config.l2_latency)
+            victim = self.l2[cpu].insert(addr, LineState.SHARED)
+            if victim is not None:
+                self._handle_l2_eviction(cpu, victim, start)
+            level = StallLevel.MEM
+        cache.insert(addr, LineState.SHARED)
+        return AccessResult(done, level)
+
+    # ------------------------------------------------------------------
+
+    def _load(self, cpu: int, addr: int, at: int) -> AccessResult:
+        cache = self.l1d[cpu]
+        cache_stats = self._l1d_stats[cpu]
+        cache_stats.reads += 1
+        if cache.lookup(addr) is not None:
+            return AccessResult(at + 1, StallLevel.NONE)
+
+        miss_kind = cache.classify_miss(addr)
+        count_miss(cache_stats, miss_kind, is_store=False)
+
+        config = self.config
+        start = self.l2_ports[cpu].acquire(at + 1, config.l2_occupancy)
+        self._l2_stats[cpu].reads += 1
+        l2_line = self.l2[cpu].lookup(addr)
+        if l2_line is not None:
+            done = start + config.l2_latency
+            level = StallLevel.L2
+            l1_state = (
+                LineState.SHARED
+                if l2_line.state == LineState.SHARED
+                else LineState.EXCLUSIVE
+            )
+        else:
+            l2_miss = self.l2[cpu].classify_miss(addr)
+            count_miss(self._l2_stats[cpu], l2_miss, is_store=False)
+            bus_at = start + config.l2_latency
+            remote_copy = self.snoop.any_remote_copy(cpu, addr)
+            source = self.snoop.snoop_read(cpu, addr)
+            if source == "c2c":
+                done = self.bus.cache_to_cache(bus_at)
+                level = StallLevel.C2C
+                self.stats.c2c_transfers += 1
+                l1_state = LineState.SHARED
+            else:
+                done = self.bus.memory_read(bus_at)
+                level = StallLevel.MEM
+                l1_state = (
+                    LineState.SHARED if remote_copy else LineState.EXCLUSIVE
+                )
+            victim = self.l2[cpu].insert(addr, l1_state)
+            if victim is not None:
+                self._handle_l2_eviction(cpu, victim, bus_at)
+
+        victim = cache.insert(addr, l1_state)
+        if victim is not None:
+            self._handle_l1_eviction(cpu, victim, at + 1)
+        return AccessResult(done, level)
+
+    # ------------------------------------------------------------------
+
+    def _store(
+        self, cpu: int, addr: int, at: int, posted: bool
+    ) -> AccessResult:
+        """Stores post through the write buffer; SCs wait out the path."""
+        self._l1d_stats[cpu].writes += 1
+        if not posted:
+            done, level = self._store_path(cpu, addr, at)
+            return AccessResult(done, level)
+        buffer = self._store_buffers[cpu]
+        release, stalled = buffer.admit(at)
+        # The drain enters the memory pipeline now; only the CPU is
+        # held back when the buffer is full.
+        complete, _level = self._store_path(cpu, addr, at)
+        visible = buffer.push(complete)
+        level = StallLevel.STOREBUF if stalled else StallLevel.NONE
+        return AccessResult(release + 1, level, visible=visible)
+
+    def _store_path(
+        self, cpu: int, addr: int, at: int
+    ) -> tuple[int, StallLevel]:
+        cache = self.l1d[cpu]
+        cache_stats = self._l1d_stats[cpu]
+        config = self.config
+
+        line = cache.lookup(addr)
+        if line is not None:
+            if line.state == LineState.MODIFIED:
+                return at + 1, StallLevel.NONE
+            if line.state == LineState.EXCLUSIVE:
+                # Silent E->M upgrade; mirror ownership into the L2 so
+                # snoops (which check the L2 tags) see the dirty line.
+                line.state = LineState.MODIFIED
+                self._set_l2_state(cpu, addr, LineState.MODIFIED)
+                return at + 1, StallLevel.NONE
+            # SHARED: invalidate-only bus transaction.
+            done = self.bus.upgrade(at + 1)
+            self.snoop.upgrade(cpu, addr)
+            line.state = LineState.MODIFIED
+            self._set_l2_state(cpu, addr, LineState.MODIFIED)
+            return done, StallLevel.MEM
+
+        miss_kind = cache.classify_miss(addr)
+        count_miss(cache_stats, miss_kind, is_store=True)
+
+        start = self.l2_ports[cpu].acquire(at + 1, config.l2_occupancy)
+        self._l2_stats[cpu].writes += 1
+        l2_line = self.l2[cpu].lookup(addr)
+        if l2_line is not None:
+            if l2_line.state == LineState.SHARED:
+                done = self.bus.upgrade(start + config.l2_latency)
+                self.snoop.upgrade(cpu, addr)
+                level = StallLevel.MEM
+            else:
+                done = start + config.l2_latency
+                level = StallLevel.L2
+            l2_line.state = LineState.MODIFIED
+        else:
+            l2_miss = self.l2[cpu].classify_miss(addr)
+            count_miss(self._l2_stats[cpu], l2_miss, is_store=True)
+            bus_at = start + config.l2_latency
+            source = self.snoop.snoop_write(cpu, addr)
+            if source == "c2c":
+                done = self.bus.cache_to_cache(bus_at)
+                level = StallLevel.C2C
+                self.stats.c2c_transfers += 1
+            else:
+                done = self.bus.memory_read(bus_at)
+                level = StallLevel.MEM
+            victim = self.l2[cpu].insert(addr, LineState.MODIFIED)
+            if victim is not None:
+                self._handle_l2_eviction(cpu, victim, bus_at)
+
+        victim = cache.insert(addr, LineState.MODIFIED)
+        if victim is not None:
+            self._handle_l1_eviction(cpu, victim, at + 1)
+        return done, level
+
+    # ------------------------------------------------------------------
+
+    def _set_l2_state(self, cpu: int, addr: int, state: LineState) -> None:
+        l2_line = self.l2[cpu].lookup(addr, update_lru=False)
+        if l2_line is not None:
+            l2_line.state = state
+
+    def _handle_l1_eviction(self, cpu: int, victim: CacheLine, at: int) -> None:
+        """A dirty L1 victim writes back into the (inclusive) L2."""
+        self._l1d_stats[cpu].evictions += 1
+        if not victim.dirty:
+            return
+        self._l1d_stats[cpu].writebacks += 1
+        victim_addr = victim.line_addr << self.l1d[cpu].line_shift
+        self.l2_ports[cpu].acquire(at, self.config.l2_occupancy)
+        # Inclusion guarantees the line is present; ownership is already
+        # MODIFIED there (mirrored at write time).
+        self._set_l2_state(cpu, victim_addr, LineState.MODIFIED)
+
+    def _handle_l2_eviction(self, cpu: int, victim: CacheLine, at: int) -> None:
+        """L2 replacement: enforce inclusion, write back dirty data."""
+        self._l2_stats[cpu].evictions += 1
+        victim_addr = victim.line_addr << self.l2[cpu].line_shift
+        dirty = victim.dirty
+        l1_line = self.l1d[cpu].invalidate(victim_addr, coherence=False)
+        if l1_line is not None and l1_line.dirty:
+            dirty = True
+        # Instruction lines are read-only: the I-cache is exempt from
+        # inclusion (no snoop will ever need its contents).
+        if dirty:
+            self._l2_stats[cpu].writebacks += 1
+            self.bus.write_back(at)

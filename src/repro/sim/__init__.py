@@ -1,0 +1,30 @@
+"""Discrete-event simulation core.
+
+The hot path of the simulator (memory accesses) uses per-resource busy
+timelines (:mod:`repro.mem.bank`) rather than a global event loop; the
+:class:`~repro.sim.engine.Engine` here handles the *deferred* actions —
+write-buffer drains, invalidation delivery, barrier releases — and the
+:mod:`~repro.sim.stats` module holds the counters every component reports
+into.
+"""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.stats import (
+    CacheStats,
+    CycleBreakdown,
+    MissKind,
+    MxsStats,
+    StallReason,
+    SystemStats,
+)
+
+__all__ = [
+    "Engine",
+    "Event",
+    "CacheStats",
+    "CycleBreakdown",
+    "MissKind",
+    "MxsStats",
+    "StallReason",
+    "SystemStats",
+]

@@ -1,0 +1,112 @@
+"""A small discrete-event engine.
+
+The engine keeps a time-ordered queue of callbacks. The system run loop
+advances simulated time cycle by cycle and calls :meth:`Engine.run_until`
+once per cycle so that any deferred work scheduled for that cycle (or
+earlier) executes before the CPUs tick.
+
+Events scheduled for the same cycle run in FIFO order of scheduling,
+which keeps the simulation deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordered by ``(time, seq)`` so ties break in scheduling order.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when its time comes."""
+        self.cancelled = True
+
+
+class Engine:
+    """Time-ordered event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._queue: list[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(
+        self,
+        time: int,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run at ``time``.
+
+        ``time`` may equal ``now`` (runs on the next :meth:`run_until`)
+        but may not be in the past.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time}, now is {self.now}"
+            )
+        event = Event(time=time, seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run_until(self, time: int) -> int:
+        """Run every pending event with ``event.time <= time``.
+
+        Advances ``now`` to ``time`` and returns the number of events
+        executed. Events may schedule further events; those are executed
+        too if they fall within the window.
+        """
+        executed = 0
+        queue = self._queue
+        while queue and queue[0].time <= time:
+            event = heapq.heappop(queue)
+            if event.cancelled:
+                continue
+            if event.time > self.now:
+                self.now = event.time
+            event.callback(*event.args)
+            executed += 1
+        if time > self.now:
+            self.now = time
+        return executed
+
+    def drain(self) -> int:
+        """Run every remaining event regardless of time; return the count."""
+        executed = 0
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)
+            if event.cancelled:
+                continue
+            if event.time > self.now:
+                self.now = event.time
+            event.callback(*event.args)
+            executed += 1
+        return executed
+
+    def peek_time(self) -> int | None:
+        """Time of the earliest pending event, or ``None`` if idle."""
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        if not queue:
+            return None
+        return queue[0].time

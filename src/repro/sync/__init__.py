@@ -1,0 +1,21 @@
+"""Synchronization primitives built from LL/SC memory traffic.
+
+Nothing here is magic: every primitive is a generator that emits real
+instructions — load-linked/store-conditional pairs, spin loads,
+branches — through the same cache hierarchy as data accesses. The cost
+of synchronization therefore varies with the architecture's sharing
+level exactly as in the paper: a barrier release is a store whose
+invalidations each spinning CPU pays for at the latency of the level
+where the processors communicate.
+
+All primitives are usable with ``yield from`` inside a thread program;
+routines that produce a value (LL/SC results, popped tasks) return it
+through the generator return value.
+"""
+
+from repro.sync.primitives import AtomicCounter
+from repro.sync.lock import SpinLock
+from repro.sync.barrier import Barrier
+from repro.sync.taskqueue import TaskQueue
+
+__all__ = ["AtomicCounter", "SpinLock", "Barrier", "TaskQueue"]

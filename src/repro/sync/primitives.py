@@ -1,0 +1,39 @@
+"""Low-level atomic building blocks."""
+
+from __future__ import annotations
+
+from repro.isa.codegen import CodeSpace
+from repro.workloads.base import ThreadContext
+from repro.workloads.layout import AddressSpace
+
+_FAI_SLOTS = 6
+
+
+class AtomicCounter:
+    """Fetch-and-increment over LL/SC.
+
+    Thread programs call ``value = yield from counter.fetch_increment(ctx)``
+    to atomically claim the next value. Contention produces genuine SC
+    failures and retry traffic.
+    """
+
+    def __init__(self, name: str, code: CodeSpace, data: AddressSpace) -> None:
+        self.name = name
+        self.addr = data.alloc_line()
+        self.region = code.region(f"{name}.fai", _FAI_SLOTS)
+        self.sc_failures = 0
+
+    def fetch_increment(self, ctx: ThreadContext, amount: int = 1):
+        """Atomically add ``amount``; returns the *previous* value."""
+        em = ctx.emitter(self.region)
+        em.jump(0)
+        top = em.label()
+        while True:
+            value = yield em.ll(self.addr)
+            yield em.ialu(src1=1)
+            claimed = yield em.sc(self.addr, value + amount)
+            if claimed:
+                yield em.branch(False)
+                return value
+            self.sc_failures += 1
+            yield em.branch(True, to=top)

@@ -1,0 +1,35 @@
+"""Trace capture and replay (trace-driven simulation mode).
+
+The simulator is execution-driven, but the classic methodology the
+paper's generation of studies grew out of is *trace-driven*: capture a
+reference stream once, replay it against many cache configurations.
+This package provides both halves:
+
+* :class:`~repro.trace.recorder.TraceRecorder` wraps any memory system
+  and records every access (cpu, kind, address, issue cycle) while the
+  simulation runs normally;
+* :class:`~repro.trace.replay.TraceWorkload` turns a recorded trace
+  back into per-CPU thread programs, so the same reference stream can
+  be replayed against a different architecture or configuration;
+* :mod:`~repro.trace.format` defines the compact text format
+  (one record per line) used on disk.
+
+Replay loses value-dependent behaviour (synchronization spins replay
+the *recorded* number of iterations rather than re-resolving), which is
+exactly the classic limitation of trace-driven simulation; the
+execution-driven mode exists because of it. Replay is still the right
+tool for cache-geometry sweeps, where the reference stream is fixed by
+construction.
+"""
+
+from repro.trace.format import TraceRecord, read_trace, write_trace
+from repro.trace.recorder import TraceRecorder
+from repro.trace.replay import TraceWorkload
+
+__all__ = [
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceWorkload",
+    "read_trace",
+    "write_trace",
+]

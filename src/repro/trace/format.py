@@ -1,0 +1,78 @@
+"""On-disk trace format.
+
+One record per line::
+
+    <cpu> <kind> <hex addr> <pc hex>
+
+``kind`` is one of ``I`` (ifetch), ``L`` (load), ``S`` (store). The
+issue cycle is deliberately *not* stored: replay timing comes from the
+replaying machine, not the recording one (the whole point of
+trace-driven methodology). Lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, NamedTuple
+
+from repro.errors import ReproError
+from repro.mem.types import AccessKind
+
+_KIND_TO_CODE = {
+    AccessKind.IFETCH: "I",
+    AccessKind.LOAD: "L",
+    AccessKind.STORE: "S",
+    AccessKind.STORE_COND: "S",  # replay as a plain store
+}
+_CODE_TO_KIND = {
+    "I": AccessKind.IFETCH,
+    "L": AccessKind.LOAD,
+    "S": AccessKind.STORE,
+}
+
+
+class TraceRecord(NamedTuple):
+    """One memory reference in a captured trace."""
+
+    cpu: int
+    kind: AccessKind
+    addr: int
+    pc: int
+
+    def to_line(self) -> str:
+        """Serialize to the one-line on-disk format."""
+        return (
+            f"{self.cpu} {_KIND_TO_CODE[self.kind]} "
+            f"{self.addr:x} {self.pc:x}"
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceRecord":
+        parts = line.split()
+        if len(parts) != 4:
+            raise ReproError(f"malformed trace line: {line!r}")
+        cpu, code, addr, pc = parts
+        if code not in _CODE_TO_KIND:
+            raise ReproError(f"unknown access kind {code!r} in {line!r}")
+        return cls(int(cpu), _CODE_TO_KIND[code], int(addr, 16), int(pc, 16))
+
+
+def write_trace(path: str | Path, records: Iterable[TraceRecord]) -> int:
+    """Write records to ``path``; returns the count written."""
+    count = 0
+    with Path(path).open("w") as handle:
+        handle.write("# repro trace v1: cpu kind addr pc\n")
+        for record in records:
+            handle.write(record.to_line() + "\n")
+            count += 1
+    return count
+
+
+def read_trace(path: str | Path) -> Iterator[TraceRecord]:
+    """Yield records from ``path`` (skipping comments and blanks)."""
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield TraceRecord.from_line(line)

@@ -1,0 +1,75 @@
+"""Capture the reference stream of a running simulation.
+
+A :class:`TraceRecorder` wraps any
+:class:`~repro.mem.hierarchy.MemorySystem`: every ``access`` call is
+recorded (in issue order) and then forwarded unchanged, so the
+simulation behaves identically while the trace accumulates.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.mem.hierarchy import MemorySystem
+from repro.mem.types import AccessKind, AccessResult
+from repro.trace.format import TraceRecord, write_trace
+
+
+class TraceRecorder(MemorySystem):
+    """Transparent recording proxy around a memory system."""
+
+    def __init__(self, inner: MemorySystem) -> None:
+        super().__init__(inner.config, inner.stats)
+        self.name = inner.name
+        self.inner = inner
+        self.records: list[TraceRecord] = []
+        # The recorder has no PC information at this layer; CPUs pass
+        # the address being fetched for IFETCH, which doubles as the pc.
+        self._limit: int | None = None
+
+    def limit(self, max_records: int) -> "TraceRecorder":
+        """Stop recording (but keep simulating) after ``max_records``."""
+        self._limit = max_records
+        return self
+
+    def access(
+        self, cpu: int, kind: AccessKind, addr: int, at: int
+    ) -> AccessResult:
+        """Record the reference, then forward it unchanged."""
+        if self._limit is None or len(self.records) < self._limit:
+            pc = addr if kind == AccessKind.IFETCH else 0
+            self.records.append(TraceRecord(cpu, kind, addr, pc))
+        return self.inner.access(cpu, kind, addr, at)
+
+    def drain(self, at: int) -> int:
+        """Forwarded to the wrapped memory system."""
+        return self.inner.drain(at)
+
+    def resource_report(self, cycles: int) -> dict[str, float]:
+        """Forwarded to the wrapped memory system."""
+        return self.inner.resource_report(cycles)
+
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Write the captured trace to ``path``; returns record count."""
+        return write_trace(path, self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def record_run(system, path: str | Path | None = None) -> TraceRecorder:
+    """Wrap ``system``'s memory with a recorder, run, optionally save.
+
+    Returns the recorder (its ``records`` hold the trace). The system
+    must not have been run yet.
+    """
+    recorder = TraceRecorder(system.memory)
+    system.memory = recorder
+    for cpu in system.cpus:
+        cpu.memory = recorder
+    system.run()
+    if path is not None:
+        recorder.save(path)
+    return recorder

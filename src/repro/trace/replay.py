@@ -1,0 +1,105 @@
+"""Replay a captured trace as a workload.
+
+:class:`TraceWorkload` splits a trace into per-CPU reference streams
+and replays each as a thread program: loads and stores are re-issued
+at their recorded addresses; instruction fetches become the PC of the
+following instructions, so the I-cache sees the recorded fetch stream.
+
+Timing comes entirely from the *replaying* machine — the trace carries
+no cycles — which is what makes replay useful for cache-geometry
+sweeps and useless for studying synchronization (spin loops replay
+their recorded length; see the package docstring).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import WorkloadError
+from repro.mem.functional import FunctionalMemory
+from repro.mem.types import AccessKind
+from repro.trace.format import TraceRecord, read_trace
+from repro.workloads.base import Workload
+
+#: pc used for references recorded without fetch context
+_DEFAULT_PC = 0x0040_0000
+
+
+class TraceWorkload(Workload):
+    """Thread programs that re-issue a recorded reference stream."""
+
+    name = "trace-replay"
+
+    def __init__(
+        self,
+        n_cpus: int,
+        functional: FunctionalMemory,
+        records: Iterable[TraceRecord] = (),
+    ) -> None:
+        super().__init__(n_cpus, functional)
+        self.streams: list[list[TraceRecord]] = [[] for _ in range(n_cpus)]
+        count = 0
+        for record in records:
+            if record.cpu >= n_cpus:
+                raise WorkloadError(
+                    f"trace references cpu {record.cpu} but the machine "
+                    f"has {n_cpus}"
+                )
+            self.streams[record.cpu].append(record)
+            count += 1
+        if count == 0:
+            raise WorkloadError("empty trace")
+        self.replayed = 0
+
+    @classmethod
+    def from_file(
+        cls, n_cpus: int, functional: FunctionalMemory, path: str | Path
+    ) -> "TraceWorkload":
+        return cls(n_cpus, functional, read_trace(path))
+
+    def program(self, cpu_id: int):
+        """Re-issue this CPU's recorded reference stream."""
+        from repro.isa.instructions import Instruction, OpClass
+
+        pc = _DEFAULT_PC
+        for record in self.streams[cpu_id]:
+            if record.kind == AccessKind.IFETCH:
+                # The fetch itself: subsequent references execute at
+                # this pc (advancing normally).
+                pc = record.pc or record.addr
+                continue
+            op = (
+                OpClass.LOAD
+                if record.kind == AccessKind.LOAD
+                else OpClass.STORE
+            )
+            yield Instruction(op, pc=pc, addr=record.addr)
+            pc += 4
+            self.replayed += 1
+
+
+def replay_trace(
+    path: str | Path,
+    arch: str,
+    n_cpus: int = 4,
+    mem_config=None,
+    max_cycles: int | None = 50_000_000,
+):
+    """Convenience: replay a trace file on an architecture.
+
+    Returns the finished :class:`~repro.core.system.System`.
+    """
+    from repro.core.system import System
+
+    functional = FunctionalMemory()
+    workload = TraceWorkload.from_file(n_cpus, functional, path)
+    system = System(
+        arch,
+        workload,
+        cpu_model="mipsy",
+        mem_config=mem_config,
+        max_cycles=max_cycles,
+    )
+    system.run()
+    return system

@@ -1,0 +1,145 @@
+"""Workload framework.
+
+A workload owns the simulated program: its code layout, its data
+layout, its synchronization objects, and one *thread program* per CPU.
+A thread program is a generator of
+:class:`~repro.isa.instructions.Instruction` records; it executes the
+real algorithm on synthetic data in Python and emits the instructions
+(with genuine addresses) a compiled version would execute.
+
+The :class:`ThreadContext` carries per-thread emitter cursors for the
+*shared* code regions (two CPUs inside the same library routine are at
+the same PCs, as they would be on real hardware), plus the per-thread
+state synchronization primitives need (e.g. the barrier sense).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.isa.codegen import CodeRegion, CodeSpace
+from repro.isa.instructions import Instruction
+from repro.isa.stream import Emitter
+from repro.mem.functional import FunctionalMemory
+from repro.workloads.layout import AddressSpace
+
+
+class ThreadContext:
+    """Per-CPU execution context handed to thread programs."""
+
+    def __init__(self, cpu_id: int) -> None:
+        self.cpu_id = cpu_id
+        self._emitters: dict[str, Emitter] = {}
+        #: per-thread barrier sense, keyed by barrier name
+        self.senses: dict[str, int] = {}
+
+    def emitter(self, region: CodeRegion) -> Emitter:
+        """This thread's cursor into a (possibly shared) code region."""
+        emitter = self._emitters.get(region.name)
+        if emitter is None:
+            emitter = Emitter(region)
+            self._emitters[region.name] = emitter
+        return emitter
+
+
+@dataclass
+class WorkloadParams:
+    """Base class for per-workload parameter sets.
+
+    ``scale`` names the preset: ``"test"`` (unit tests, tiny),
+    ``"bench"`` (default experiments, 1/8 of the paper's sizes) or
+    ``"paper"`` (full size). Concrete workloads define the actual
+    dimensions per preset.
+    """
+
+    scale: str = "bench"
+    extras: dict = field(default_factory=dict)
+
+
+class Workload(ABC):
+    """One benchmark: code + data layout and a program per CPU."""
+
+    #: short identifier used in reports and the experiment matrix
+    name: str = "abstract"
+
+    def __init__(self, n_cpus: int, functional: FunctionalMemory) -> None:
+        if n_cpus <= 0:
+            raise WorkloadError("n_cpus must be positive")
+        self.n_cpus = n_cpus
+        self.functional = functional
+        self.code = CodeSpace()
+        self.data = AddressSpace()
+
+    @abstractmethod
+    def program(self, cpu_id: int) -> Iterator[Instruction]:
+        """The thread program for ``cpu_id``."""
+
+    def context(self, cpu_id: int) -> ThreadContext:
+        """A fresh per-CPU execution context."""
+        return ThreadContext(cpu_id)
+
+    def validate(self) -> None:
+        """Optional post-run check that the computation was performed.
+
+        Workloads that compute a checkable result (e.g. the FFT kernel)
+        override this and raise :class:`WorkloadError` on corruption.
+        """
+
+    def sync_report(self) -> dict[str, dict]:
+        """Statistics from every synchronization primitive this
+        workload (or its sub-objects, two levels deep) holds.
+
+        Keys are the primitives' names; values describe their kind and
+        traffic — lock acquires and contended retries, barrier
+        episodes, task-queue pops and steals, SC failures.
+        """
+        from repro.sync import AtomicCounter, Barrier, SpinLock, TaskQueue
+
+        report: dict[str, dict] = {}
+        seen: set[int] = set()
+
+        def visit(obj: object, depth: int) -> None:
+            if id(obj) in seen or depth > 2:
+                return
+            seen.add(id(obj))
+            if isinstance(obj, SpinLock):
+                report[obj.name] = {
+                    "kind": "lock",
+                    "acquires": obj.acquires,
+                    "contended_retries": obj.contended_retries,
+                }
+            elif isinstance(obj, Barrier):
+                report[obj.name] = {
+                    "kind": "barrier",
+                    "episodes": obj.episodes,
+                }
+                visit(obj.lock, depth)
+            elif isinstance(obj, TaskQueue):
+                report[obj.name] = {
+                    "kind": "taskqueue",
+                    "pops": obj.pops,
+                    "steals": obj.steals,
+                }
+            elif isinstance(obj, AtomicCounter):
+                report[obj.name] = {
+                    "kind": "counter",
+                    "sc_failures": obj.sc_failures,
+                }
+            elif hasattr(obj, "__dict__") and depth < 2:
+                for value in vars(obj).values():
+                    if isinstance(value, (list, tuple)):
+                        for item in value:
+                            visit(item, depth + 1)
+                    else:
+                        visit(value, depth + 1)
+
+        for value in vars(self).values():
+            if isinstance(value, (list, tuple)):
+                for item in value:
+                    visit(item, 1)
+            else:
+                visit(value, 1)
+        return report

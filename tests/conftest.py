@@ -1,0 +1,115 @@
+"""Shared fixtures and tiny workloads for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configs import test_config as make_test_config
+from repro.core.system import System
+from repro.mem.functional import FunctionalMemory
+from repro.sim.stats import SystemStats
+from repro.sync.barrier import Barrier
+from repro.workloads.base import Workload
+
+
+class LoopWorkload(Workload):
+    """Each CPU streams loads/stores over a private array, no sharing."""
+
+    name = "test-loop"
+
+    def __init__(
+        self,
+        n_cpus: int,
+        functional: FunctionalMemory,
+        iterations: int = 50,
+        array_words: int = 64,
+        stores: bool = True,
+    ) -> None:
+        super().__init__(n_cpus, functional)
+        self.iterations = iterations
+        self.array_words = array_words
+        self.stores = stores
+        self.region = self.code.region("loop.body", 32)
+        self.arrays = [
+            self.data.alloc_array(array_words, 4) for _ in range(n_cpus)
+        ]
+
+    def program(self, cpu_id: int):
+        ctx = self.context(cpu_id)
+        em = ctx.emitter(self.region)
+        base = self.arrays[cpu_id]
+        for _ in range(self.iterations):
+            em.jump(0)
+            top = em.label()
+            for i in range(self.array_words):
+                yield em.load(base + 4 * i)
+                yield em.ialu(src1=1)
+                if self.stores:
+                    yield em.store(base + 4 * i, src1=1)
+                last = i == self.array_words - 1
+                yield em.branch(not last, to=top if not last else None)
+
+
+class SharingWorkload(Workload):
+    """CPU 0 writes a block each round; everyone else reads it back."""
+
+    name = "test-sharing"
+
+    def __init__(
+        self,
+        n_cpus: int,
+        functional: FunctionalMemory,
+        rounds: int = 5,
+        block_words: int = 32,
+    ) -> None:
+        super().__init__(n_cpus, functional)
+        self.rounds = rounds
+        self.block_words = block_words
+        self.region = self.code.region("share.body", 32)
+        self.block = self.data.alloc_array(block_words, 4)
+        self.barrier = Barrier("share.bar", self.code, self.data, n_cpus)
+
+    def program(self, cpu_id: int):
+        ctx = self.context(cpu_id)
+        em = ctx.emitter(self.region)
+        for round_no in range(self.rounds):
+            if cpu_id == 0:
+                em.jump(0)
+                for i in range(self.block_words):
+                    yield em.store(self.block + 4 * i, src1=1)
+            yield from self.barrier.wait(ctx)
+            em.jump(0)
+            for i in range(self.block_words):
+                yield em.load(self.block + 4 * i)
+                yield em.ialu(src1=1)
+            yield from self.barrier.wait(ctx)
+
+
+def build_system(
+    arch: str,
+    workload_cls=LoopWorkload,
+    cpu_model: str = "mipsy",
+    n_cpus: int = 4,
+    max_cycles: int = 2_000_000,
+    **workload_kwargs,
+):
+    """Construct a small system around one of the toy workloads."""
+    functional = FunctionalMemory()
+    workload = workload_cls(n_cpus, functional, **workload_kwargs)
+    return System(
+        arch,
+        workload,
+        cpu_model=cpu_model,
+        mem_config=make_test_config(n_cpus),
+        max_cycles=max_cycles,
+    )
+
+
+@pytest.fixture
+def stats4() -> SystemStats:
+    return SystemStats.for_cpus(4)
+
+
+@pytest.fixture
+def functional() -> FunctionalMemory:
+    return FunctionalMemory()

@@ -1,0 +1,125 @@
+"""Tests for the snoopy bus, crossbar, and main-memory models."""
+
+from repro.mem.bus import BusTiming, SnoopyBus
+from repro.mem.crossbar import Crossbar
+from repro.mem.mainmem import MainMemory
+
+
+# ----------------------------------------------------------------------
+# bus
+
+
+def test_bus_memory_read_timing():
+    bus = SnoopyBus()
+    assert bus.memory_read(10) == 60  # 50-cycle latency
+    assert bus.mem_reads == 1
+
+
+def test_bus_serializes_transactions():
+    bus = SnoopyBus()
+    bus.memory_read(0)   # occupies 0..6
+    done = bus.memory_read(0)
+    assert done == 56    # starts at 6
+    assert bus.busy_cycles == 12
+
+
+def test_bus_cache_to_cache_costs_more_than_memory():
+    timing = BusTiming()
+    assert timing.c2c_latency > timing.mem_latency
+    assert timing.c2c_occupancy > timing.mem_occupancy
+    bus = SnoopyBus(timing)
+    assert bus.cache_to_cache(0) == timing.c2c_latency
+    assert bus.c2c_transfers == 1
+
+
+def test_bus_upgrade_and_writeback_counted():
+    bus = SnoopyBus()
+    bus.upgrade(0)
+    bus.write_back(0)
+    assert bus.upgrades == 1
+    assert bus.writebacks == 1
+    assert bus.transactions == 2
+
+
+# ----------------------------------------------------------------------
+# crossbar
+
+
+def make_xbar(**kwargs):
+    defaults = dict(
+        name="x", n_banks=4, line_size=32, latency=14, occupancy=4, n_ports=4
+    )
+    defaults.update(kwargs)
+    return Crossbar(**defaults)
+
+
+def test_crossbar_latency():
+    xbar = make_xbar()
+    ready, wait = xbar.access(0, at=10, port=0)
+    assert ready == 24
+    assert wait == 0
+
+
+def test_crossbar_bank_conflict():
+    xbar = make_xbar()
+    xbar.access(0, at=0, port=0)
+    ready, wait = xbar.access(0, at=0, port=1)  # same bank, other port
+    assert wait == 4
+    assert ready == 4 + 14
+
+
+def test_crossbar_port_conflict():
+    xbar = make_xbar()
+    xbar.access(0, at=0, port=0)
+    ready, wait = xbar.access(32, at=0, port=0)  # other bank, same port
+    assert wait == 4
+
+
+def test_crossbar_disjoint_port_bank_pairs_do_not_conflict():
+    xbar = make_xbar()
+    xbar.access(0, at=0, port=0)
+    ready, wait = xbar.access(32, at=0, port=1)
+    assert wait == 0
+    assert ready == 14
+
+
+def test_crossbar_word_write_occupancy_override():
+    xbar = make_xbar()
+    xbar.access(0, at=0, port=0, occupancy=1)
+    ready, wait = xbar.access(0, at=0, port=1)
+    assert wait == 1  # only one cycle held, not four
+
+
+def test_crossbar_conflict_cycles_accounted():
+    xbar = make_xbar()
+    xbar.access(0, at=0, port=0)
+    xbar.access(0, at=0, port=1)
+    assert xbar.conflict_cycles == 4
+    assert xbar.requests == 2
+
+
+# ----------------------------------------------------------------------
+# main memory
+
+
+def test_mainmem_latency_and_occupancy():
+    mem = MainMemory(latency=50, occupancy=6, n_banks=1, line_size=32)
+    assert mem.access(0, at=0) == 50
+    assert mem.access(32, at=0) == 56  # queued behind the first
+    assert mem.reads == 2
+
+
+def test_mainmem_writeback_is_posted():
+    mem = MainMemory(latency=50, occupancy=6, n_banks=1, line_size=32)
+    done = mem.write_back(0, at=0)
+    assert done == 6  # bank-free time, not data latency
+    assert mem.writes == 1
+    # a later read queues behind the writeback
+    assert mem.access(32, at=0) == 56
+
+
+def test_mainmem_banks_overlap():
+    mem = MainMemory(latency=50, occupancy=6, n_banks=2, line_size=32)
+    assert mem.access(0, at=0) == 50
+    assert mem.access(32, at=0) == 50  # different bank
+    assert mem.accesses == 2

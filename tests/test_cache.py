@@ -1,0 +1,149 @@
+"""Tests for the set-associative cache array."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.cache import CacheArray, LineState
+from repro.sim.stats import MissKind
+
+
+def make_cache(size=1024, assoc=2, line=32, name="c"):
+    return CacheArray(name, size, assoc, line)
+
+
+def test_geometry():
+    cache = make_cache(size=1024, assoc=2, line=32)
+    assert cache.n_sets == 16
+    assert cache.line_shift == 5
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ConfigError):
+        make_cache(size=1000)  # not divisible
+    with pytest.raises(ConfigError):
+        make_cache(line=33)
+    with pytest.raises(ConfigError):
+        make_cache(assoc=0)
+    with pytest.raises(ConfigError):
+        CacheArray("c", 96, 1, 32)  # 3 sets: not a power of two
+
+
+def test_miss_then_hit():
+    cache = make_cache()
+    assert cache.lookup(0x100) is None
+    cache.insert(0x100)
+    line = cache.lookup(0x100)
+    assert line is not None
+    assert line.state == LineState.SHARED
+
+
+def test_same_line_different_offsets_hit():
+    cache = make_cache()
+    cache.insert(0x100)
+    assert cache.lookup(0x100 + 31) is not None
+    assert cache.lookup(0x100 + 32) is None
+
+
+def test_lru_eviction_order():
+    cache = make_cache(size=64, assoc=2, line=32)  # 1 set, 2 ways
+    cache.insert(0x000)
+    cache.insert(0x020)
+    # touch 0x000 so 0x020 becomes LRU
+    cache.lookup(0x000)
+    victim = cache.insert(0x040)
+    assert victim is not None
+    assert victim.line_addr == 0x020 >> 5
+
+
+def test_lookup_without_lru_update():
+    cache = make_cache(size=64, assoc=2, line=32)
+    cache.insert(0x000)
+    cache.insert(0x020)
+    cache.lookup(0x000, update_lru=False)  # does NOT refresh
+    victim = cache.insert(0x040)
+    assert victim.line_addr == 0x000 >> 5
+
+
+def test_insert_existing_refreshes_and_sets_state():
+    cache = make_cache(size=64, assoc=2, line=32)
+    cache.insert(0x000)
+    cache.insert(0x020)
+    assert cache.insert(0x000, LineState.MODIFIED) is None
+    victim = cache.insert(0x040)
+    assert victim.line_addr == 0x020 >> 5
+    assert cache.state_of(0x000) == LineState.MODIFIED
+
+
+def test_capacity_never_exceeded():
+    cache = make_cache(size=256, assoc=2, line=32)  # 8 lines
+    for i in range(50):
+        cache.insert(i * 32)
+    assert cache.resident_count() <= 8
+
+
+def test_invalidate_returns_line():
+    cache = make_cache()
+    cache.insert(0x100, LineState.MODIFIED)
+    line = cache.invalidate(0x100)
+    assert line is not None and line.dirty
+    assert cache.lookup(0x100) is None
+    assert cache.invalidate(0x100) is None  # already gone
+
+
+def test_invalidation_miss_classification():
+    cache = make_cache()
+    cache.insert(0x100)
+    cache.invalidate(0x100, coherence=True)
+    assert cache.classify_miss(0x100) == MissKind.MISS_INVALIDATION
+    # refetch clears the mark
+    cache.insert(0x100)
+    cache.invalidate(0x100, coherence=False)
+    assert cache.classify_miss(0x100) == MissKind.MISS_REPLACEMENT
+
+
+def test_replacement_miss_classification_for_cold():
+    cache = make_cache()
+    assert cache.classify_miss(0x999900) == MissKind.MISS_REPLACEMENT
+
+
+def test_downgrade():
+    cache = make_cache()
+    cache.insert(0x100, LineState.MODIFIED)
+    line = cache.downgrade(0x100)
+    assert line.state == LineState.SHARED
+    assert cache.downgrade(0x200) is None
+
+
+def test_state_of_absent_is_invalid():
+    cache = make_cache()
+    assert cache.state_of(0x700) == LineState.INVALID
+
+
+def test_flush_returns_dirty_lines():
+    cache = make_cache()
+    cache.insert(0x100, LineState.MODIFIED)
+    cache.insert(0x200, LineState.SHARED)
+    dirty = cache.flush()
+    assert [line.line_addr for line in dirty] == [0x100 >> 5]
+    assert cache.resident_count() == 0
+
+
+def test_set_conflict_behaviour():
+    # Direct-mapped: two addresses one cache-size apart conflict.
+    cache = make_cache(size=1024, assoc=1, line=32)
+    cache.insert(0x0)
+    victim = cache.insert(0x0 + 1024)
+    assert victim is not None
+    assert cache.lookup(0x0) is None
+    # 4-way absorbs the same conflict.
+    cache4 = make_cache(size=1024, assoc=4, line=32)
+    cache4.insert(0x0)
+    assert cache4.insert(0x0 + 1024) is None
+    assert cache4.lookup(0x0) is not None
+
+
+def test_lines_iterates_everything():
+    cache = make_cache()
+    for i in range(5):
+        cache.insert(i * 64)
+    assert len(list(cache.lines())) == 5

@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "eqntott" in out
+    assert "shared-l1" in out
+    assert "mipsy" in out
+
+
+def test_run_command(capsys):
+    code = main([
+        "run", "-w", "ear", "-a", "shared-l2", "-s", "test",
+        "--max-cycles", "3000000",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out
+    assert "L1 data" in out
+    assert "machine IPC" in out
+
+
+def test_run_with_override(capsys):
+    code = main([
+        "run", "-w", "ear", "-a", "shared-l1", "-s", "test",
+        "--set", "l2_assoc=4", "--max-cycles", "3000000",
+    ])
+    assert code == 0
+
+
+def test_run_with_bad_override_field(capsys):
+    code = main([
+        "run", "-w", "ear", "-a", "shared-l1", "-s", "test",
+        "--set", "bogus=4",
+    ])
+    assert code == 2
+    assert "unknown MemConfig field" in capsys.readouterr().err
+
+
+def test_run_with_malformed_override():
+    with pytest.raises(SystemExit):
+        main(["run", "-w", "ear", "-a", "shared-l1", "--set", "nonsense"])
+
+
+def test_compare_command(capsys):
+    code = main([
+        "compare", "-w", "ear", "-s", "test", "--max-cycles", "3000000",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "normalized execution time" in out
+    assert "L1R%" in out
+    assert out.count("#") > 10  # bars rendered
+
+
+def test_compare_mxs_prints_ipc(capsys):
+    code = main([
+        "compare", "-w", "ear", "-s", "test", "-c", "mxs",
+        "--max-cycles", "3000000",
+    ])
+    assert code == 0
+    assert "IPC" in capsys.readouterr().out
+
+
+def test_sweep_command(capsys):
+    code = main([
+        "sweep", "-w", "ear", "-s", "test", "--field", "l2_assoc",
+        "--max-cycles", "3000000", "1", "4",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "l2_assoc" in out
+    assert "shared-mem" in out
+
+
+def test_sweep_bad_field_reports_error(capsys):
+    code = main([
+        "sweep", "-w", "ear", "-s", "test", "--field", "nope",
+        "--max-cycles", "3000000", "1",
+    ])
+    assert code == 0  # per-value errors are reported, not fatal
+    assert "error" in capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_validates_choices():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "-w", "quake", "-a", "shared-l1"])
+
+
+def test_selfcheck_command(capsys):
+    assert main(["selfcheck"]) == 0
+    out = capsys.readouterr().out
+    assert "table2" in out
+    assert "FAIL" not in out
+
+
+def test_trace_command(capsys):
+    assert main(["trace", "-w", "eqntott", "--limit", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "IALU" in out or "LOAD" in out
+    assert "0x40" in out
+
+
+def test_trace_command_honours_cpu(capsys):
+    assert main(["trace", "-w", "eqntott", "--cpu", "2", "--limit", "10"]) == 0
+    assert "cpu 2" in capsys.readouterr().out
+
+
+def test_compare_claims_flag(capsys):
+    code = main([
+        "compare", "-w", "ear", "-s", "test", "--claims",
+        "--max-cycles", "3000000",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "paper claims" in out
+
+
+def test_compare_claims_flag_without_encoded_figure(capsys):
+    code = main([
+        "compare", "-w", "synthetic", "-s", "test", "--claims",
+        "--max-cycles", "3000000",
+    ])
+    assert code == 0
+    assert "no encoded paper claims" in capsys.readouterr().out

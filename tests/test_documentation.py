@@ -1,0 +1,102 @@
+"""Documentation-contract tests.
+
+The deliverable requires doc comments on every public item; these tests
+enforce it mechanically, and check that the README's import examples
+actually work.
+"""
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+
+import repro
+
+SRC_ROOT = pathlib.Path(repro.__file__).parent
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(
+        [str(SRC_ROOT)], prefix="repro."
+    ):
+        yield importlib.import_module(info.name)
+
+
+def test_every_module_has_a_docstring():
+    missing = [
+        module.__name__
+        for module in _walk_modules()
+        if not (module.__doc__ or "").strip()
+    ]
+    assert not missing, missing
+
+
+def test_every_public_class_and_function_is_documented():
+    missing = []
+    for module in _walk_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-export; documented at its home
+            if not (obj.__doc__ or "").strip():
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, missing
+
+
+def test_public_methods_are_documented():
+    missing = []
+    for module in _walk_modules():
+        for cls_name, cls in vars(module).items():
+            if cls_name.startswith("_") or not inspect.isclass(cls):
+                continue
+            if cls.__module__ != module.__name__:
+                continue
+            for name, member in vars(cls).items():
+                if name.startswith("_"):
+                    continue
+                if not inspect.isfunction(member):
+                    continue
+                if not (member.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{cls_name}.{name}")
+    assert not missing, missing
+
+
+def test_readme_quickstart_imports_work():
+    from repro.core.experiment import run_architecture_comparison  # noqa
+    from repro.core.report import (  # noqa
+        format_breakdown_table,
+        format_miss_rate_table,
+    )
+    from repro.workloads import WORKLOADS
+
+    assert "eqntott" in WORKLOADS
+
+
+def test_documented_docs_exist():
+    root = SRC_ROOT.parent.parent
+    for doc in (
+        "README.md",
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+        "CONTRIBUTING.md",
+        "CHANGELOG.md",
+        "docs/MODEL.md",
+        "docs/WORKLOADS.md",
+        "docs/REPRODUCING.md",
+    ):
+        assert (root / doc).is_file(), doc
+
+
+def test_examples_exist_and_are_executable_scripts():
+    root = SRC_ROOT.parent.parent
+    examples = sorted((root / "examples").glob("*.py"))
+    assert len(examples) >= 3
+    for example in examples:
+        text = example.read_text()
+        assert '"""' in text.split("\n", 2)[-1] or text.startswith(
+            "#!"
+        ), example
+        assert "def main" in text, example

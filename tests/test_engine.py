@@ -1,0 +1,113 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_events_run_in_time_order():
+    engine = Engine()
+    seen = []
+    engine.schedule(5, seen.append, "b")
+    engine.schedule(3, seen.append, "a")
+    engine.schedule(9, seen.append, "c")
+    engine.run_until(10)
+    assert seen == ["a", "b", "c"]
+
+
+def test_ties_break_in_scheduling_order():
+    engine = Engine()
+    seen = []
+    for tag in ("first", "second", "third"):
+        engine.schedule(4, seen.append, tag)
+    engine.run_until(4)
+    assert seen == ["first", "second", "third"]
+
+
+def test_run_until_only_runs_due_events():
+    engine = Engine()
+    seen = []
+    engine.schedule(2, seen.append, "early")
+    engine.schedule(8, seen.append, "late")
+    executed = engine.run_until(5)
+    assert executed == 1
+    assert seen == ["early"]
+    assert engine.now == 5
+
+
+def test_run_until_advances_now_even_when_idle():
+    engine = Engine()
+    engine.run_until(42)
+    assert engine.now == 42
+
+
+def test_cannot_schedule_in_the_past():
+    engine = Engine()
+    engine.run_until(10)
+    with pytest.raises(SimulationError):
+        engine.schedule(9, lambda: None)
+
+
+def test_schedule_at_now_is_allowed():
+    engine = Engine()
+    engine.run_until(10)
+    seen = []
+    engine.schedule(10, seen.append, "x")
+    engine.run_until(10)
+    assert seen == ["x"]
+
+
+def test_cancelled_events_are_skipped():
+    engine = Engine()
+    seen = []
+    event = engine.schedule(3, seen.append, "no")
+    engine.schedule(4, seen.append, "yes")
+    event.cancel()
+    engine.run_until(5)
+    assert seen == ["yes"]
+
+
+def test_events_may_schedule_events_within_window():
+    engine = Engine()
+    seen = []
+
+    def chain():
+        seen.append("outer")
+        engine.schedule(engine.now + 1, seen.append, "inner")
+
+    engine.schedule(2, chain)
+    engine.run_until(5)
+    assert seen == ["outer", "inner"]
+
+
+def test_peek_time_skips_cancelled():
+    engine = Engine()
+    event = engine.schedule(3, lambda: None)
+    engine.schedule(7, lambda: None)
+    event.cancel()
+    assert engine.peek_time() == 7
+
+
+def test_peek_time_empty():
+    engine = Engine()
+    assert engine.peek_time() is None
+
+
+def test_drain_runs_everything():
+    engine = Engine()
+    seen = []
+    engine.schedule(100, seen.append, 1)
+    engine.schedule(200, seen.append, 2)
+    assert engine.drain() == 2
+    assert engine.now == 200
+    assert seen == [1, 2]
+
+
+def test_len_counts_pending_non_cancelled():
+    engine = Engine()
+    event = engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: None)
+    assert len(engine) == 2
+    event.cancel()
+    assert len(engine) == 1

@@ -1,0 +1,83 @@
+"""Tests for the data address-space layout."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.layout import DATA_BASE, KERNEL_BASE, AddressSpace
+
+
+def test_allocations_do_not_overlap():
+    space = AddressSpace()
+    a = space.alloc(100)
+    b = space.alloc(50)
+    assert a + 100 <= b
+
+
+def test_alignment():
+    space = AddressSpace()
+    space.alloc(3)
+    b = space.alloc(8, align=64)
+    assert b % 64 == 0
+
+
+def test_alloc_array_is_line_aligned():
+    space = AddressSpace(line_size=32)
+    space.alloc(5)
+    base = space.alloc_array(10, 8)
+    assert base % 32 == 0
+
+
+def test_alloc_line_gives_whole_lines():
+    space = AddressSpace(line_size=32)
+    first = space.alloc_line()
+    second = space.alloc_line()
+    assert second - first == space.SYNC_PAD
+    assert first % space.SYNC_PAD == 0
+
+
+def test_alloc_at_fixed_address():
+    space = AddressSpace(base=0x1000)
+    space.alloc(64)
+    addr = space.alloc_at(0x9000, 128)
+    assert addr == 0x9000
+    nxt = space.alloc(8)
+    assert nxt >= 0x9000 + 128
+
+
+def test_alloc_at_rejects_overlap():
+    space = AddressSpace(base=0x1000)
+    space.alloc(0x100)
+    with pytest.raises(WorkloadError):
+        space.alloc_at(0x1000, 32)
+
+
+def test_bad_sizes_rejected():
+    space = AddressSpace()
+    with pytest.raises(WorkloadError):
+        space.alloc(0)
+    with pytest.raises(WorkloadError):
+        space.alloc(8, align=3)
+    with pytest.raises(WorkloadError):
+        space.alloc_at(space.base + 64, 0)
+
+
+def test_fork_is_disjoint():
+    space = AddressSpace()
+    space.alloc(1000)
+    other = space.fork(1 << 24)
+    a = other.alloc(100)
+    assert a >= space.base + (1 << 24)
+
+
+def test_used_bytes():
+    space = AddressSpace()
+    space.alloc(100, align=8)
+    assert space.used_bytes >= 100
+
+
+def test_segment_bases_are_staggered_in_a_direct_mapped_l2():
+    """Text (0x400000), data and kernel bases must not map to the same
+    sets of a 256 KB direct-mapped cache (DESIGN.md layout rule)."""
+    l2_way = 256 * 1024
+    offsets = {0x0040_0000 % l2_way, DATA_BASE % l2_way, KERNEL_BASE % l2_way}
+    assert len(offsets) == 3

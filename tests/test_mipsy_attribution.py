@@ -1,0 +1,148 @@
+"""Precision tests for Mipsy's stall attribution.
+
+Each test constructs a single-CPU scenario where exactly one stall
+source is active and checks the cycles land in the right breakdown
+bucket — the foundation under every Figure 4-10 bar.
+"""
+
+from repro.core.configs import test_config as make_test_config
+from repro.core.system import System
+from repro.mem.functional import FunctionalMemory
+from repro.workloads.base import Workload
+
+
+class Script(Workload):
+    """Single CPU, caller-provided generator body."""
+
+    name = "script"
+
+    def __init__(self, n_cpus, functional, body=None, region_slots=64):
+        super().__init__(n_cpus, functional)
+        self.body = body
+        self.region = self.code.region("script", region_slots)
+        self.array = self.data.alloc_array(256, 32)
+
+    def program(self, cpu_id):
+        if cpu_id or self.body is None:
+            return
+        ctx = self.context(cpu_id)
+        em = ctx.emitter(self.region)
+        yield from self.body(self, em)
+
+
+def run_script(body, arch="shared-mem", **config_overrides):
+    functional = FunctionalMemory()
+    workload = Script(1, functional, body=body)
+    config = make_test_config(1)
+    for key, value in config_overrides.items():
+        setattr(config, key, value)
+    system = System(arch, workload, mem_config=config, max_cycles=500_000)
+    stats = system.run()
+    return stats, stats.breakdowns[0]
+
+
+def test_pure_compute_is_all_busy():
+    def body(workload, em):
+        em.jump(0)
+        for _ in range(32):  # stay inside the first I-line fills
+            yield em.ialu()
+
+    stats, breakdown = run_script(body)
+    assert breakdown.busy == stats.instructions
+    assert breakdown.l2 == breakdown.mem == breakdown.c2c == 0
+
+
+def test_l2_hit_stall_lands_in_l2_bucket():
+    def body(workload, em):
+        # Warm the line into L1+L2, evict it from L1 only, re-read.
+        yield em.load(workload.array)
+        way = 512 // 2  # test-scale L1: n_sets * line = way size
+        for k in (1, 2):
+            yield em.load(workload.array + k * way * 2)
+        for _ in range(70):  # let everything settle
+            yield em.ialu()
+        yield em.load(workload.array)
+
+    stats, breakdown = run_script(body)
+    assert breakdown.l2 > 0
+
+
+def test_memory_stall_lands_in_mem_bucket():
+    def body(workload, em):
+        yield em.load(workload.array)  # cold: straight to memory
+
+    _stats, breakdown = run_script(body)
+    assert breakdown.mem >= 50  # at least the DRAM latency
+
+
+def test_posted_store_does_not_stall():
+    def body(workload, em):
+        for i in range(4):
+            yield em.store(workload.array + 32 * i)
+
+    _stats, breakdown = run_script(body)
+    # The stores miss cold but the CPU never waits for them.
+    assert breakdown.mem == 0
+    assert breakdown.storebuf == 0
+
+
+def test_istall_counts_cold_code():
+    def body(workload, em):
+        em.jump(0)
+        for _ in range(60):  # spans several I-lines
+            yield em.ialu()
+
+    _stats, breakdown = run_script(body)
+    assert breakdown.istall > 0
+
+
+def test_shared_l1_crossbar_latency_hidden_by_optimism():
+    def body(workload, em):
+        yield em.load(workload.array)
+        for _ in range(70):
+            yield em.ialu()
+        yield em.load(workload.array)  # warm hit
+
+    # Mipsy: optimistic -> second load costs one cycle, no L1 stall.
+    _stats, breakdown = run_script(body, arch="shared-l1")
+    assert breakdown.l1d == 0
+
+
+def test_c2c_attribution_on_shared_mem():
+    """A dirty remote line read lands in the cache-to-cache bucket."""
+
+    class TwoCpu(Workload):
+        name = "two"
+
+        def __init__(self, n_cpus, functional):
+            super().__init__(n_cpus, functional)
+            self.region = self.code.region("two", 32)
+            self.line = self.data.alloc_line()
+            self.flag = self.data.alloc_line()
+
+        def program(self, cpu_id):
+            ctx = self.context(cpu_id)
+            em = ctx.emitter(self.region)
+            if cpu_id == 0:
+                yield em.store(self.line, value=1)
+                yield em.store(self.flag, value=1)
+            else:
+                em.jump(8)
+                spin = em.label()
+                while True:
+                    observed = yield em.load(self.flag, want_value=True)
+                    if observed:
+                        yield em.branch(False)
+                        break
+                    yield em.branch(True, to=spin)
+                yield em.load(self.line)
+
+    functional = FunctionalMemory()
+    workload = TwoCpu(2, functional)
+    system = System(
+        "shared-mem", workload, mem_config=make_test_config(2),
+        max_cycles=500_000,
+    )
+    stats = system.run()
+    assert stats.breakdowns[1].c2c > 0
+    assert stats.c2c_transfers >= 1

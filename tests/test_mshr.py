@@ -1,0 +1,54 @@
+"""Tests for the miss status holding registers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mem.mshr import MshrFile
+
+
+def test_allocate_until_full():
+    mshrs = MshrFile(capacity=2)
+    assert mshrs.allocate(1, done=50)
+    assert mshrs.allocate(2, done=60)
+    assert mshrs.full
+    assert not mshrs.allocate(3, done=70)
+    assert mshrs.full_stalls == 1
+
+
+def test_probe_finds_inflight_line():
+    mshrs = MshrFile(capacity=4)
+    mshrs.allocate(7, done=42)
+    assert mshrs.probe(7) == 42
+    assert mshrs.probe(8) is None
+
+
+def test_merge_same_line_keeps_earlier_completion():
+    mshrs = MshrFile(capacity=1)
+    mshrs.allocate(7, done=42)
+    assert mshrs.allocate(7, done=99)  # merge, not a new entry
+    assert mshrs.probe(7) == 42
+    assert mshrs.merges == 1
+    assert mshrs.outstanding == 1
+
+
+def test_retire_frees_completed():
+    mshrs = MshrFile(capacity=2)
+    mshrs.allocate(1, done=10)
+    mshrs.allocate(2, done=20)
+    mshrs.retire(15)
+    assert mshrs.outstanding == 1
+    assert mshrs.probe(1) is None
+    assert mshrs.probe(2) == 20
+
+
+def test_earliest_completion():
+    mshrs = MshrFile(capacity=4)
+    assert mshrs.earliest_completion() is None
+    mshrs.allocate(1, done=30)
+    mshrs.allocate(2, done=10)
+    assert mshrs.earliest_completion() == 10
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(SimulationError):
+        MshrFile(capacity=0)

@@ -1,0 +1,68 @@
+"""Smoke tests for the full paper-scale configuration.
+
+Paper-scale runs take minutes to hours; these tests verify that the
+true-size configuration (16 KB L1s, 2 MB L2, 35,000 particles, ...)
+*constructs correctly* everywhere and *executes* a bounded slice on
+every architecture — so a user choosing `-s paper` hits no surprises,
+without the test suite paying for complete runs.
+"""
+
+import pytest
+
+from repro.core.configs import paper_config
+from repro.core.system import System
+from repro.mem.functional import FunctionalMemory
+from repro.workloads import WORKLOADS
+
+_SLICE_CYCLES = 30_000
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_paper_scale_constructs(name):
+    workload = WORKLOADS[name](4, FunctionalMemory(), "paper")
+    # Programs start producing instructions immediately.
+    inst = next(workload.program(0))
+    assert inst.pc > 0
+
+
+@pytest.mark.parametrize("arch", ("shared-l1", "shared-l2", "shared-mem"))
+def test_paper_scale_slice_runs(arch):
+    functional = FunctionalMemory()
+    workload = WORKLOADS["ocean"](4, functional, "paper")
+    system = System(
+        arch,
+        workload,
+        cpu_model="mipsy",
+        mem_config=paper_config(),
+        max_cycles=_SLICE_CYCLES,
+    )
+    stats = system.run()
+    assert stats.instructions > 1000
+    # The paper-size caches swallow the early working set.
+    l1 = stats.aggregate_caches(".l1d")
+    assert l1.accesses > 0
+
+
+def test_paper_scale_mxs_slice_runs():
+    functional = FunctionalMemory()
+    workload = WORKLOADS["ear"](4, functional, "paper")
+    system = System(
+        "shared-l1",
+        workload,
+        cpu_model="mxs",
+        mem_config=paper_config(),
+        max_cycles=_SLICE_CYCLES,
+    )
+    stats = system.run()
+    assert sum(m.graduated for m in stats.mxs) > 1000
+
+
+def test_paper_scale_geometry_is_the_papers():
+    config = paper_config()
+    assert config.shared_l1_size == 64 * 1024
+    assert config.l2_size == 2 * 1024 * 1024
+    workload = WORKLOADS["mp3d"](4, FunctionalMemory(), "paper")
+    assert workload.n_particles == 35000
+    assert workload.steps == 20
+    eqntott = WORKLOADS["eqntott"](4, FunctionalMemory(), "paper")
+    assert eqntott.vec_words == 512

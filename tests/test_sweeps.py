@@ -1,0 +1,105 @@
+"""Tests for the parameter-sweep API."""
+
+import pytest
+
+from conftest import LoopWorkload
+
+from repro.core.sweeps import (
+    SweepResult,
+    speedup_table,
+    sweep_cpu_count,
+    sweep_mem_field,
+)
+from repro.errors import ConfigError
+
+
+def _loop_factory(n_cpus, functional, scale):
+    return LoopWorkload(n_cpus, functional, iterations=4, array_words=64)
+
+
+def test_sweep_mem_field_covers_values_and_archs():
+    sweep = sweep_mem_field(
+        _loop_factory, "l2_assoc", (1, 4), scale="test",
+    )
+    assert sweep.values == [1, 4]
+    for value in (1, 4):
+        assert set(sweep.runs[value]) == {
+            "shared-l1", "shared-l2", "shared-mem"
+        }
+        assert sweep.cycles(value, "shared-mem") > 0
+
+
+def test_sweep_l1_size_reduces_misses():
+    sweep = sweep_mem_field(
+        _loop_factory, "l1d_size", (128, 4096), scale="test",
+        archs=("shared-mem",),
+    )
+    small = sweep.runs[128]["shared-mem"].stats.aggregate_caches(".l1d")
+    large = sweep.runs[4096]["shared-mem"].stats.aggregate_caches(".l1d")
+    assert large.misses <= small.misses
+
+
+def test_sweep_table_renders():
+    sweep = sweep_mem_field(_loop_factory, "l2_assoc", (1, 2), scale="test")
+    table = sweep.table()
+    assert "l2_assoc" in table
+    assert "shared-l1" in table
+
+
+def test_sweep_series_and_normalized():
+    sweep = sweep_mem_field(_loop_factory, "l2_assoc", (1, 2), scale="test")
+    series = sweep.series("shared-l2")
+    assert len(series) == 2
+    times = sweep.normalized(1)
+    assert times["shared-mem"] == 1.0
+
+
+def test_sweep_to_dict():
+    sweep = sweep_mem_field(
+        _loop_factory, "l2_assoc", (1,), scale="test",
+        archs=("shared-l1",),
+    )
+    data = sweep.to_dict()
+    assert data["field"] == "l2_assoc"
+    assert "shared-l1" in data["cycles"]["1"]
+
+
+def test_sweep_base_overrides_compose():
+    sweep = sweep_mem_field(
+        _loop_factory, "l2_assoc", (1,), scale="test",
+        archs=("shared-l1",),
+        base_overrides={"l1d_size": 256},
+    )
+    assert sweep.cycles(1, "shared-l1") > 0
+
+
+def test_sweep_rejects_empty_values():
+    with pytest.raises(ConfigError):
+        sweep_mem_field(_loop_factory, "l2_assoc", (), scale="test")
+    with pytest.raises(ConfigError):
+        sweep_cpu_count(_loop_factory, counts=())
+
+
+def test_cpu_count_sweep_and_speedups():
+    results = sweep_cpu_count(
+        _loop_factory, counts=(1, 2), scale="test",
+        archs=("shared-l2",),
+    )
+    speedups = speedup_table(results)
+    assert speedups["shared-l2"][1] == 1.0
+    # Independent per-CPU loops: two CPUs are no slower than one.
+    assert speedups["shared-l2"][2] > 0.8
+
+
+def test_unknown_field_raises():
+    with pytest.raises(ConfigError):
+        sweep_mem_field(_loop_factory, "warp_drive", (1,), scale="test")
+
+
+class _SweepResultUnit:
+    pass
+
+
+def test_sweep_result_table_empty_is_safe():
+    empty = SweepResult(field="x")
+    assert "x" in empty.table()

@@ -1,0 +1,169 @@
+"""Tests for trace capture and replay."""
+
+import pytest
+
+from conftest import LoopWorkload, build_system
+
+from repro.core.configs import test_config as make_test_config
+from repro.core.system import System
+from repro.errors import ReproError, WorkloadError
+from repro.mem.functional import FunctionalMemory
+from repro.mem.types import AccessKind
+from repro.trace import (
+    TraceRecord,
+    TraceRecorder,
+    TraceWorkload,
+    read_trace,
+    write_trace,
+)
+from repro.trace.recorder import record_run
+from repro.trace.replay import replay_trace
+
+
+# ----------------------------------------------------------------------
+# format
+
+
+def test_record_round_trips_through_text():
+    record = TraceRecord(2, AccessKind.LOAD, 0x1000_0020, 0x400004)
+    assert TraceRecord.from_line(record.to_line()) == record
+
+
+def test_sc_records_as_plain_store():
+    record = TraceRecord(0, AccessKind.STORE_COND, 0x100, 0)
+    parsed = TraceRecord.from_line(record.to_line())
+    assert parsed.kind == AccessKind.STORE
+
+
+def test_malformed_lines_rejected():
+    with pytest.raises(ReproError):
+        TraceRecord.from_line("1 L deadbeef")
+    with pytest.raises(ReproError):
+        TraceRecord.from_line("1 X 10 0")
+
+
+def test_write_and_read_trace(tmp_path):
+    records = [
+        TraceRecord(0, AccessKind.IFETCH, 0x400000, 0x400000),
+        TraceRecord(0, AccessKind.LOAD, 0x1000, 0x400000),
+        TraceRecord(1, AccessKind.STORE, 0x2000, 0x400010),
+    ]
+    path = tmp_path / "t.trace"
+    assert write_trace(path, records) == 3
+    assert list(read_trace(path)) == records
+
+
+def test_read_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "t.trace"
+    path.write_text("# header\n\n0 L 10 0\n")
+    assert len(list(read_trace(path))) == 1
+
+
+# ----------------------------------------------------------------------
+# recorder
+
+
+def test_recorder_is_transparent():
+    plain = build_system("shared-l2", LoopWorkload, iterations=4)
+    plain_stats = plain.run()
+
+    recorded = build_system("shared-l2", LoopWorkload, iterations=4)
+    recorder = record_run(recorded)
+    assert recorded.stats.cycles == plain_stats.cycles
+    assert recorded.stats.instructions == plain_stats.instructions
+    assert len(recorder) > 0
+
+
+def test_recorder_captures_all_kinds():
+    system = build_system("shared-mem", LoopWorkload, iterations=3)
+    recorder = record_run(system)
+    kinds = {record.kind for record in recorder.records}
+    assert AccessKind.LOAD in kinds
+    assert AccessKind.STORE in kinds
+    assert AccessKind.IFETCH in kinds
+
+
+def test_recorder_limit():
+    system = build_system("shared-l1", LoopWorkload, iterations=5)
+    recorder = TraceRecorder(system.memory).limit(10)
+    system.memory = recorder
+    for cpu in system.cpus:
+        cpu.memory = recorder
+    system.run()
+    assert len(recorder) == 10
+
+
+def test_recorder_save_and_reload(tmp_path):
+    system = build_system("shared-l1", LoopWorkload, iterations=2)
+    recorder = record_run(system, tmp_path / "run.trace")
+    reloaded = list(read_trace(tmp_path / "run.trace"))
+    assert len(reloaded) == len(recorder)
+
+
+# ----------------------------------------------------------------------
+# replay
+
+
+def test_replay_reissues_the_stream(tmp_path):
+    source = build_system("shared-l2", LoopWorkload, iterations=3)
+    recorder = record_run(source, tmp_path / "run.trace")
+    data_refs = sum(
+        1 for r in recorder.records if r.kind != AccessKind.IFETCH
+    )
+
+    replayed = replay_trace(
+        tmp_path / "run.trace", "shared-l2", mem_config=make_test_config()
+    )
+    assert replayed.workload.replayed == data_refs
+    assert not replayed.truncated
+
+
+def test_replay_on_a_different_architecture(tmp_path):
+    source = build_system("shared-l2", LoopWorkload, iterations=3)
+    record_run(source, tmp_path / "run.trace")
+    replayed = replay_trace(
+        tmp_path / "run.trace", "shared-mem", mem_config=make_test_config()
+    )
+    assert replayed.stats.instructions > 0
+
+
+def test_replay_cache_sweep_shows_geometry_effects(tmp_path):
+    """The classic use: one trace, two cache sizes, fewer misses with
+    the bigger cache."""
+    source = build_system("shared-mem", LoopWorkload, iterations=4,
+                          array_words=256)
+    record_run(source, tmp_path / "run.trace")
+
+    def misses_with_l1(size):
+        config = make_test_config()
+        config.l1d_size = size
+        system = replay_trace(
+            tmp_path / "run.trace", "shared-mem", mem_config=config
+        )
+        return system.stats.aggregate_caches(".l1d").misses
+
+    small = misses_with_l1(256)
+    large = misses_with_l1(4096)
+    assert large < small
+
+
+def test_replay_rejects_empty_trace():
+    with pytest.raises(WorkloadError):
+        TraceWorkload(4, FunctionalMemory(), [])
+
+
+def test_replay_rejects_out_of_range_cpu():
+    records = [TraceRecord(7, AccessKind.LOAD, 0x100, 0)]
+    with pytest.raises(WorkloadError):
+        TraceWorkload(4, FunctionalMemory(), records)
+
+
+def test_replay_uses_recorded_fetch_pcs(tmp_path):
+    records = [
+        TraceRecord(0, AccessKind.IFETCH, 0x0040_2000, 0x0040_2000),
+        TraceRecord(0, AccessKind.LOAD, 0x1000_0000, 0),
+    ]
+    workload = TraceWorkload(1, FunctionalMemory(), records)
+    instructions = list(workload.program(0))
+    assert len(instructions) == 1
+    assert instructions[0].pc == 0x0040_2000

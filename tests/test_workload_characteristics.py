@@ -1,0 +1,233 @@
+"""Characterization tests: each workload's address stream must have the
+properties the paper's analysis attributes to it.
+
+These drive the raw instruction streams (no simulator) and check
+working-set sizes, sharing structure, instruction mixes, and code
+footprints — the levers every Figure 4-10 explanation pulls on.
+"""
+
+import pytest
+
+from repro.isa.instructions import OpClass
+from repro.mem.functional import FunctionalMemory
+from repro.workloads import WORKLOADS
+
+
+def build(name, scale="test"):
+    return WORKLOADS[name](4, FunctionalMemory(), scale)
+
+
+def stream(workload, cpu, limit=400_000):
+    """Standalone drain with spin-terminating value feeding."""
+    program = workload.program(cpu)
+    value = None
+    feed = 0
+    for _ in range(limit):
+        try:
+            inst = program.send(value) if value is not None else next(program)
+        except StopIteration:
+            return
+        value = None
+        if inst.want_value:
+            feed += 1
+            # Cycle small values (terminates barrier counts and sense
+            # spins) with an occasional huge one (terminates task-queue
+            # bounds checks).
+            value = (0, 1, 2, 3, 1 << 20)[feed % 5]
+        yield inst
+
+
+def data_lines(workload, cpu, **kwargs):
+    lines = set()
+    for inst in stream(workload, cpu, **kwargs):
+        if inst.is_memory:
+            lines.add(inst.addr // 32)
+    return lines
+
+
+def code_lines(workload, cpu, **kwargs):
+    return {
+        inst.pc // 32 for inst in stream(workload, cpu, **kwargs)
+    }
+
+
+def instruction_mix(workload, cpu, **kwargs):
+    mix = {"load": 0, "store": 0, "branch": 0, "alu": 0, "fp": 0, "sync": 0}
+    for inst in stream(workload, cpu, **kwargs):
+        if inst.op in (OpClass.LL, OpClass.SC):
+            mix["sync"] += 1
+        elif inst.is_load:
+            mix["load"] += 1
+        elif inst.is_store:
+            mix["store"] += 1
+        elif inst.is_branch:
+            mix["branch"] += 1
+        elif inst.op in (OpClass.IALU, OpClass.IMUL, OpClass.IDIV):
+            mix["alu"] += 1
+        else:
+            mix["fp"] += 1
+    return mix
+
+
+# ----------------------------------------------------------------------
+# sharing structure
+
+
+def test_eqntott_slaves_read_master_written_lines():
+    workload = build("eqntott")
+    master_stores = {
+        inst.addr // 32
+        for inst in stream(workload, 0)
+        if inst.is_store and not inst.op == OpClass.SC
+    }
+    slave_loads = {
+        inst.addr // 32
+        for inst in stream(workload, 1)
+        if inst.is_load and inst.op == OpClass.LOAD
+    }
+    shared = master_stores & slave_loads
+    assert shared, "the master's vector writes must reach the slaves"
+
+
+def test_ocean_neighbours_share_only_boundaries():
+    workload = build("ocean")
+    cpu0 = data_lines(workload, 0)
+    cpu3 = data_lines(workload, 3)  # diagonal neighbour in the 2x2 grid
+    sync_lines = {
+        workload.barrier.count_addr // 32,
+        workload.barrier.sense_addr // 32,
+        workload.barrier.lock.addr // 32,
+    }
+    overlap = (cpu0 & cpu3) - sync_lines
+    # Diagonal blocks share at most a corner's worth of lines.
+    assert len(overlap) < 0.15 * len(cpu0)
+
+
+def test_multiprog_user_data_is_unshared():
+    workload = build("multiprog")
+    kernel_floor = 0x8000_0000 // 32
+    user = []
+    for cpu in range(4):
+        user.append({
+            line for line in data_lines(workload, cpu) if line < kernel_floor
+        })
+    sync = {workload.kernel.bcache_lock.addr // 32,
+            workload.kernel.runq_lock.addr // 32}
+    for a in range(4):
+        for b in range(a + 1, 4):
+            assert not (user[a] & user[b]) - sync, (a, b)
+
+
+def test_multiprog_kernel_data_is_shared():
+    workload = build("multiprog")
+    kernel_floor = 0x8000_0000 // 32
+    kernel = [
+        {line for line in data_lines(workload, cpu) if line >= kernel_floor}
+        for cpu in range(4)
+    ]
+    assert kernel[0] & kernel[1] & kernel[2] & kernel[3]
+
+
+def test_ear_working_set_is_tiny():
+    workload = build("ear")
+    lines = data_lines(workload, 0)
+    # Channel state + outputs + coefficients + sync: well under 4 KB.
+    assert len(lines) * 32 < 4096
+
+
+def test_volpack_volume_is_read_only():
+    workload = build("volpack")
+    vol_lo = workload.volume_base // 32
+    vol_hi = (workload.volume_base
+              + workload.scanlines * workload.width * 4) // 32
+    for cpu in range(4):
+        for inst in stream(workload, cpu):
+            if inst.is_store and vol_lo <= inst.addr // 32 < vol_hi:
+                pytest.fail("voxel data must never be written")
+
+
+def test_mp3d_cells_are_shared_readwrite():
+    workload = build("mp3d")
+    cell_lo = workload.cells_base // 32
+    cell_hi = cell_lo + workload.n_cells
+    writers = set()
+    for cpu in range(4):
+        for inst in stream(workload, cpu):
+            if inst.is_store and cell_lo <= inst.addr // 32 < cell_hi:
+                writers.add(cpu)
+                break
+    assert writers == {0, 1, 2, 3}
+
+
+def test_fft_transforms_touch_disjoint_arrays_after_init():
+    workload = build("fft")
+    per_cpu = workload.n_ffts // 4
+    for cpu in range(1, 4):
+        own = range(cpu * per_cpu, (cpu + 1) * per_cpu)
+        own_ranges = [
+            (workload.array_base[k] // 32,
+             (workload.array_base[k] + workload.n_points * 16) // 32)
+            for k in own
+        ]
+        foreign_stores = 0
+        for inst in stream(workload, cpu):
+            if inst.is_store and inst.op == OpClass.STORE:
+                line = inst.addr // 32
+                if not any(lo <= line < hi for lo, hi in own_ranges):
+                    if line < workload.spectrum_base // 32:
+                        foreign_stores += 1
+        assert foreign_stores == 0
+
+
+# ----------------------------------------------------------------------
+# code footprints (I-cache behaviour)
+
+
+def test_multiprog_code_footprint_exceeds_test_icache():
+    workload = build("multiprog")
+    footprint = len(code_lines(workload, 0)) * 32
+    assert footprint > 512  # the 1/32-scale I-cache
+
+
+def test_tight_loop_workloads_have_small_code():
+    for name in ("ear", "eqntott", "ocean"):
+        workload = build(name)
+        footprint = len(code_lines(workload, 1)) * 32
+        assert footprint < 512, name
+
+
+# ----------------------------------------------------------------------
+# instruction mixes
+
+
+def test_fp_apps_use_fp():
+    for name in ("ocean", "fft", "ear", "mp3d", "volpack"):
+        mix = instruction_mix(build(name), 1)
+        assert mix["fp"] > 0, name
+
+
+def test_eqntott_is_integer_only():
+    mix = instruction_mix(build("eqntott"), 1)
+    assert mix["fp"] == 0
+
+
+def test_multiprog_is_store_heavy():
+    """Section 4.3: the OS workload has a much larger store share."""
+    mp = instruction_mix(build("multiprog"), 0)
+    eq = instruction_mix(build("eqntott"), 1)
+    mp_total = sum(mp.values())
+    eq_total = sum(eq.values())
+    assert mp["store"] / mp_total > eq["store"] / eq_total
+
+
+def test_every_workload_synchronizes_except_none():
+    for name in sorted(WORKLOADS):
+        mix = instruction_mix(build(name), 1)
+        assert mix["sync"] > 0, name
+
+
+def test_branch_density_is_plausible():
+    for name in sorted(WORKLOADS):
+        mix = instruction_mix(build(name), 1)
+        total = sum(mix.values())
+        assert 0.02 < mix["branch"] / total < 0.45, (name, mix)

@@ -1,0 +1,62 @@
+"""Tests for the store (write) buffer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.writebuffer import WriteBuffer
+
+
+def test_admit_with_room_is_immediate():
+    buffer = WriteBuffer(depth=2)
+    start, stalled = buffer.admit(10)
+    assert start == 10 and not stalled
+
+
+def test_full_buffer_stalls_until_oldest_completes():
+    buffer = WriteBuffer(depth=2)
+    buffer.admit(0)
+    buffer.push(50)
+    buffer.admit(1)
+    buffer.push(60)
+    start, stalled = buffer.admit(2)
+    assert stalled
+    assert start == 50  # the earliest completion frees a slot
+    assert buffer.full_stalls == 1
+
+
+def test_completed_entries_free_slots():
+    buffer = WriteBuffer(depth=1)
+    buffer.admit(0)
+    buffer.push(5)
+    start, stalled = buffer.admit(10)  # entry completed at 5 < 10
+    assert start == 10 and not stalled
+
+
+def test_fifo_visibility_ordering():
+    buffer = WriteBuffer(depth=8)
+    assert buffer.push(100) == 100
+    # A later store that completes earlier may not become visible
+    # before its predecessor.
+    assert buffer.push(40) == 100
+    assert buffer.push(150) == 150
+
+
+def test_drain_time():
+    buffer = WriteBuffer(depth=4)
+    buffer.push(30)
+    buffer.push(90)
+    assert buffer.drain_time(10) == 90
+    assert buffer.drain_time(100) == 100
+
+
+def test_occupancy_counts_pending():
+    buffer = WriteBuffer(depth=4)
+    buffer.push(30)
+    buffer.push(40)
+    assert buffer.occupancy == 2
+    assert buffer.stores == 2
+
+
+def test_zero_depth_rejected():
+    with pytest.raises(ConfigError):
+        WriteBuffer(depth=0)
