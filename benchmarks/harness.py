@@ -53,17 +53,30 @@ def run_matrix(
     workload: str,
     cpu_model: str = "mipsy",
     extra_overrides: dict | None = None,
+    jobs: int = 1,
+    runner=None,
 ) -> dict[str, ExperimentResult]:
-    """Run one workload on all three architectures at bench scale."""
+    """Run one workload on all three architectures at bench scale.
+
+    The workload is passed to the runner *by name*, so ``jobs > 1``
+    fans the three architectures out over worker processes; ``runner``
+    shares a configured :class:`repro.core.runner.Runner` (e.g. with a
+    result cache) across many matrices. Overrides go through
+    ``MemConfig.with_overrides`` and are therefore re-validated.
+    """
     overrides = dict(BENCH_OVERRIDES.get(workload, {}))
     if extra_overrides:
         overrides.update(extra_overrides)
+    if workload not in WORKLOADS:
+        raise ReproError(f"unknown workload {workload!r}")
     return run_architecture_comparison(
-        WORKLOADS[workload],
+        workload,
         cpu_model=cpu_model,
         scale="bench",
         max_cycles=MAX_CYCLES,
         mem_config_overrides=overrides or None,
+        jobs=jobs,
+        runner=runner,
     )
 
 

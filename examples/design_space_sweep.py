@@ -13,80 +13,99 @@ how the architecture ranking responds:
 2. **L2 associativity** (1, 2, 4 ways): the paper's MP3D ablation —
    direct-mapped L2 conflict misses are what sink the shared-L1
    architecture on MP3D, and 4-way associativity makes them vanish.
+3. **CPU count** (1, 2, 4): how each architecture scales on FFT.
+
+All three sweeps are expressed as one batch of picklable
+:class:`repro.core.runner.Job` specs and submitted to a single
+:class:`repro.core.runner.Runner` — pass a worker count to fan the
+whole design-space exploration out over processes.
 
 Usage:
-    python examples/design_space_sweep.py [scale]
+    python examples/design_space_sweep.py [scale] [jobs]
 """
 
 import sys
 
-from repro.core.configs import config_for_scale
-from repro.core.experiment import run_one
-from repro.core.report import normalized_times
-from repro.workloads import WORKLOADS
+from repro.core.runner import Job, Runner
+
+LATENCIES = (2, 3, 4, 5)
+ASSOCS = (1, 2, 4)
+CPU_COUNTS = (1, 2, 4)
+MAX_CYCLES = 30_000_000
 
 
-def sweep_shared_l1_latency(scale: str) -> None:
-    print("Sweep 1: shared-L1 hit latency (detailed path, Ear workload)")
-    print(f"{'latency':>8} {'cycles':>10} {'vs 3-cycle':>11}")
-    baseline = None
-    for latency in (2, 3, 4, 5):
-        config = config_for_scale(scale)
-        config.shared_l1_latency = latency
-        # The MXS model charges the real hit latency (Mipsy deliberately
-        # models the shared L1 optimistically, per the paper).
-        result = run_one(
-            "shared-l1",
-            WORKLOADS["ear"],
+def build_batch(scale: str) -> list[Job]:
+    batch = [
+        # Sweep 1: shared-L1 hit latency, MXS (charges the real latency).
+        Job(
+            arch="shared-l1",
+            workload="ear",
             cpu_model="mxs",
             scale=scale,
-            mem_config=config,
-            max_cycles=30_000_000,
+            overrides={"shared_l1_latency": latency},
+            max_cycles=MAX_CYCLES,
         )
-        if latency == 3:
-            baseline = result.cycles
-        ratio = result.cycles / baseline if baseline else float("nan")
-        print(f"{latency:>8} {result.cycles:>10} "
-              f"{ratio:>11.3f}" if baseline else
-              f"{latency:>8} {result.cycles:>10} {'-':>11}")
+        for latency in LATENCIES
+    ]
+    batch += [
+        # Sweep 2: L2 associativity on MP3D — the paper's ablation.
+        Job(
+            arch="shared-l1",
+            workload="mp3d",
+            scale=scale,
+            overrides={"l2_assoc": assoc},
+            max_cycles=MAX_CYCLES,
+        )
+        for assoc in ASSOCS
+    ]
+    batch += [
+        # Sweep 3: parallel speedup per architecture on FFT.
+        Job(
+            arch=arch,
+            workload="fft",
+            scale=scale,
+            n_cpus=n_cpus,
+            max_cycles=MAX_CYCLES,
+        )
+        for arch in ("shared-l1", "shared-l2", "shared-mem")
+        for n_cpus in CPU_COUNTS
+    ]
+    return batch
 
 
-def sweep_l2_associativity(scale: str) -> None:
+def main() -> int:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "test"
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    runner = Runner(jobs=jobs)
+    outcomes = iter(runner.run(build_batch(scale)).outcomes)
+
+    print("Sweep 1: shared-L1 hit latency (detailed path, Ear workload)")
+    print(f"{'latency':>8} {'cycles':>10} {'vs 3-cycle':>11}")
+    by_latency = {
+        latency: next(outcomes).result for latency in LATENCIES
+    }
+    baseline = by_latency[3].cycles
+    for latency in LATENCIES:
+        ratio = by_latency[latency].cycles / baseline if baseline else 0.0
+        print(f"{latency:>8} {by_latency[latency].cycles:>10} {ratio:>11.3f}")
+
     print()
     print("Sweep 2: L2 associativity (MP3D on shared-L1 — the paper's "
           "ablation)")
     print(f"{'assoc':>6} {'L2 miss rate':>13} {'cycles':>10}")
-    for assoc in (1, 2, 4):
-        config = config_for_scale(scale)
-        config.l2_assoc = assoc
-        result = run_one(
-            "shared-l1",
-            WORKLOADS["mp3d"],
-            cpu_model="mipsy",
-            scale=scale,
-            mem_config=config,
-            max_cycles=30_000_000,
-        )
+    for assoc in ASSOCS:
+        result = next(outcomes).result
         l2 = result.stats.aggregate_caches(".l2")
         print(f"{assoc:>6} {100 * l2.miss_rate:>12.2f}% {result.cycles:>10}")
 
-
-def sweep_cpu_count(scale: str) -> None:
     print()
     print("Sweep 3: how each architecture scales from 1 to 4 CPUs (FFT)")
-    print(f"{'arch':<12}" + "".join(f"{n:>10}" for n in (1, 2, 4)))
+    print(f"{'arch':<12}" + "".join(f"{n:>10}" for n in CPU_COUNTS))
     for arch in ("shared-l1", "shared-l2", "shared-mem"):
         row = f"{arch:<12}"
         base = None
-        for n_cpus in (1, 2, 4):
-            result = run_one(
-                arch,
-                WORKLOADS["fft"],
-                cpu_model="mipsy",
-                scale=scale,
-                n_cpus=n_cpus,
-                max_cycles=30_000_000,
-            )
+        for _n_cpus in CPU_COUNTS:
+            result = next(outcomes).result
             if base is None:
                 base = result.cycles
                 row += f"{'1.00x':>10}"
@@ -94,12 +113,10 @@ def sweep_cpu_count(scale: str) -> None:
                 row += f"{base / result.cycles:>9.2f}x"
         print(row)
 
-
-def main() -> int:
-    scale = sys.argv[1] if len(sys.argv) > 1 else "test"
-    sweep_shared_l1_latency(scale)
-    sweep_l2_associativity(scale)
-    sweep_cpu_count(scale)
+    report = runner.last_report
+    if report is not None:
+        print()
+        print(f"runner: {report.summary()}")
     return 0
 
 

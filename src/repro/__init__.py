@@ -8,7 +8,8 @@ The public surface:
 
 * :mod:`repro.core` — configurations (paper Table 2), the
   :class:`~repro.core.system.System` builder, the experiment matrix,
-  sweeps, reports and SVG figures;
+  the process-parallel cache-aware runner
+  (:mod:`repro.core.runner`), sweeps, reports and SVG figures;
 * :mod:`repro.workloads` — the paper's seven applications and the base
   classes for writing new ones;
 * :mod:`repro.cpu` — the Mipsy (simple) and MXS (dynamic superscalar)
@@ -27,6 +28,6 @@ Quickstart::
     print(normalized_times(results))
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

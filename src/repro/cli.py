@@ -17,6 +17,11 @@ Subcommands::
     python -m repro sweep --workload mp3d --field l2_assoc 1 2 4
         Sweep one MemConfig field on every architecture.
 
+``run``, ``compare`` and ``sweep`` accept ``--jobs N`` to execute the
+underlying simulations in N worker processes, and cache results
+on disk keyed by the full job spec (``--no-cache`` bypasses,
+``--cache-dir`` relocates; see repro.core.runner).
+
     python -m repro trace --workload eqntott --limit 60
         Dump a workload's instruction stream (no simulation).
 
@@ -31,8 +36,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.configs import ARCHITECTURES, CPU_MODELS, config_for_scale
-from repro.core.experiment import run_architecture_comparison, run_one
+from repro.core.configs import ARCHITECTURES, CPU_MODELS
+from repro.core.experiment import run_architecture_comparison
+from repro.core.runner import Job, ResultCache, Runner, default_cache_dir
+from repro.core.sweeps import sweep_mem_field
 from repro.core.report import (
     format_bar_chart,
     format_breakdown_table,
@@ -66,6 +73,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-cycles", type=int, default=50_000_000,
         help="safety cap on simulated cycles",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes (default: all cores; 1 = in-process)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always simulate; do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help=f"result cache location (default: {default_cache_dir()})",
     )
 
 
@@ -159,6 +178,14 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 
 
+def _runner_for(args: argparse.Namespace) -> Runner:
+    """Build the experiment runner the flags describe."""
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    return Runner(jobs=args.jobs, cache=cache)
+
+
 def _cmd_list() -> int:
     print("workloads:")
     for name in sorted(WORKLOADS):
@@ -171,22 +198,21 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = config_for_scale(args.scale, args.cpus)
-    for field, value in args.overrides:
-        if not hasattr(config, field):
-            print(f"error: unknown MemConfig field {field!r}",
-                  file=sys.stderr)
-            return 2
-        setattr(config, field, value)
-    result = run_one(
-        args.arch,
-        WORKLOADS[args.workload],
+    job = Job(
+        arch=args.arch,
+        workload=args.workload,
         cpu_model=args.cpu,
         scale=args.scale,
         n_cpus=args.cpus,
-        mem_config=config,
+        overrides=dict(args.overrides),
         max_cycles=args.max_cycles,
     )
+    try:
+        report = _runner_for(args).run([job])
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = report.outcomes[0].result
     stats = result.stats
     print(f"{args.workload} on {args.arch} ({args.cpu}, {args.scale}):")
     print(f"  cycles        {stats.cycles}")
@@ -214,19 +240,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
             print(f"    {name:<20} [{info['kind']}] {fields}")
     print(f"  wall time     {result.wall_seconds:.2f}s")
+    print(f"  runner        {report.summary()}")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    overrides = dict(args.overrides) or None
-    results = run_architecture_comparison(
-        WORKLOADS[args.workload],
-        cpu_model=args.cpu,
-        scale=args.scale,
-        n_cpus=args.cpus,
-        max_cycles=args.max_cycles,
-        mem_config_overrides=overrides,
-    )
+    try:
+        runner = _runner_for(args)
+        results = run_architecture_comparison(
+            args.workload,
+            cpu_model=args.cpu,
+            scale=args.scale,
+            n_cpus=args.cpus,
+            max_cycles=args.max_cycles,
+            mem_config_overrides=dict(args.overrides) or None,
+            runner=runner,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     title = f"{args.workload} ({args.cpu}, {args.scale} scale)"
     print(format_breakdown_table(results, title=title))
     print()
@@ -264,34 +296,44 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         else:
             print(f"paper claims ({figure}):")
             print(format_check_report(check_figure(results, figure)))
+    if runner.last_report is not None:
+        print()
+        print(f"runner: {runner.last_report.summary()}")
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"sweeping {args.field} over {args.values} "
           f"({args.workload}, {args.cpu}, {args.scale} scale)")
+    try:
+        runner = _runner_for(args)
+        sweep = sweep_mem_field(
+            args.workload,
+            args.field,
+            args.values,
+            cpu_model=args.cpu,
+            scale=args.scale,
+            n_cpus=args.cpus,
+            max_cycles=args.max_cycles,
+            runner=runner,
+        )
+    except ReproError as error:
+        # Sweep problems are reported in-band, not fatally (a bad field
+        # or value is part of exploring the space).
+        print(f"error: {error}")
+        return 0
     header = f"{args.field:>12}" + "".join(
         f"{arch:>13}" for arch in ARCHITECTURES
     )
     print(header)
     print("-" * len(header))
-    for value in args.values:
+    for value in sweep.values:
         row = f"{value:>12}"
-        try:
-            results = run_architecture_comparison(
-                WORKLOADS[args.workload],
-                cpu_model=args.cpu,
-                scale=args.scale,
-                n_cpus=args.cpus,
-                max_cycles=args.max_cycles,
-                mem_config_overrides={args.field: value},
-            )
-        except ReproError as error:
-            print(f"{row}  error: {error}")
-            continue
         for arch in ARCHITECTURES:
-            row += f"{results[arch].cycles:>13}"
+            row += f"{sweep.cycles(value, arch):>13}"
         print(row)
+    if runner.last_report is not None:
+        print(f"runner: {runner.last_report.summary()}")
     return 0
 
 

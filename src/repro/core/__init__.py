@@ -4,7 +4,10 @@ This is the public face of the library: build a
 :class:`~repro.core.system.System` from an architecture name, a CPU
 model and a workload, run it, and get the paper's statistics back; or
 use :mod:`repro.core.experiment` to run the full architecture matrix
-the way the evaluation section does.
+the way the evaluation section does. :mod:`repro.core.runner` executes
+batches of such runs across worker processes with an on-disk result
+cache; the experiment matrix, the sweeps, the CLI and the benchmark
+harnesses all submit through it.
 """
 
 from repro.core.configs import (
@@ -36,6 +39,15 @@ from repro.core.figures import (
     render_comparison_figure,
     render_ipc_svg,
 )
+from repro.core.runner import (
+    Job,
+    JobOutcome,
+    ResultCache,
+    Runner,
+    RunReport,
+    register_workload,
+    run_jobs,
+)
 from repro.core.sweeps import (
     SweepResult,
     speedup_table,
@@ -66,6 +78,13 @@ __all__ = [
     "render_breakdown_svg",
     "render_comparison_figure",
     "render_ipc_svg",
+    "Job",
+    "JobOutcome",
+    "ResultCache",
+    "Runner",
+    "RunReport",
+    "register_workload",
+    "run_jobs",
     "SweepResult",
     "speedup_table",
     "sweep_cpu_count",

@@ -8,6 +8,7 @@ absolute IPC (Figure 11).
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -63,7 +64,15 @@ class ExperimentResult:
         return sum(m.ipc for m in mxs_list) / len(mxs_list)
 
     def to_dict(self) -> dict:
-        """A JSON-serializable summary of this run (for tooling)."""
+        """A JSON-serializable dump of this run.
+
+        The top-level keys are the human-facing summary (aggregate
+        breakdown, pooled miss rates, IPC) that tooling has always
+        consumed; the ``stats`` key carries the complete
+        :meth:`SystemStats.to_dict` state so :meth:`from_dict` can
+        reconstruct an equivalent result — the round-trip the runner's
+        on-disk cache and cross-process transport rely on.
+        """
         breakdown = self.stats.aggregate_breakdown()
         l1 = self.stats.aggregate_caches(".l1d")
         l2 = self.stats.aggregate_caches(".l2")
@@ -92,6 +101,7 @@ class ExperimentResult:
                 for key, value in self.extras.items()
                 if key in ("resources", "truncated", "sync")
             },
+            "stats": self.stats.to_dict(),
         }
         if self.cpu_model == "mxs":
             summary["per_cpu_ipc"] = self.per_cpu_ipc
@@ -109,10 +119,26 @@ class ExperimentResult:
 
     def to_json(self, **kwargs) -> str:
         """The :meth:`to_dict` summary, JSON-encoded."""
-        import json
-
         kwargs.setdefault("indent", 2)
         return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Rebuild a result from a :meth:`to_dict` payload.
+
+        Only the identity fields and the full ``stats`` state are read;
+        the summary keys are derived and recomputed on demand, so a
+        round-tripped result reports byte-identical numbers.
+        """
+        return cls(
+            arch=data["arch"],
+            workload=data["workload"],
+            cpu_model=data["cpu_model"],
+            scale=data["scale"],
+            stats=SystemStats.from_dict(data["stats"]),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            extras=dict(data.get("extras", {})),
+        )
 
 
 def run_one(
@@ -160,7 +186,7 @@ def run_one(
 
 
 def run_architecture_comparison(
-    factory: WorkloadFactory,
+    factory: WorkloadFactory | str,
     cpu_model: str = "mipsy",
     scale: str = "test",
     n_cpus: int = 4,
@@ -168,31 +194,43 @@ def run_architecture_comparison(
     cpu_params: CpuParams | None = None,
     max_cycles: int | None = None,
     mem_config_overrides: dict | None = None,
+    jobs: int = 1,
+    runner: "Runner | None" = None,
 ) -> dict[str, ExperimentResult]:
     """Run one workload on every architecture; returns results by name.
 
     Each architecture gets a *fresh* workload instance (same parameters,
     same synthetic data seeding) and a fresh functional memory, exactly
     as the paper restarts each run from the same checkpoint.
+
+    This is a thin batch submission on top of
+    :class:`repro.core.runner.Runner`: one :class:`~repro.core.runner.Job`
+    per architecture. ``jobs`` > 1 runs them in worker processes;
+    pass ``runner`` to share a configured runner (result cache,
+    progress hooks) across calls. ``factory`` may be a registry name
+    (preferred — the spec then pickles as plain data) or a factory
+    callable.
     """
+    # Imported here: runner is built on top of this module.
+    from repro.core.runner import Job, Runner
+
     if not archs:
         raise ConfigError("need at least one architecture")
-    results: dict[str, ExperimentResult] = {}
-    for arch in archs:
-        config = config_for_scale(scale, n_cpus)
-        if mem_config_overrides:
-            for key, value in mem_config_overrides.items():
-                if not hasattr(config, key):
-                    raise ConfigError(f"unknown MemConfig field {key!r}")
-                setattr(config, key, value)
-        results[arch] = run_one(
-            arch,
-            factory,
+    batch = [
+        Job(
+            arch=arch,
+            workload=factory,
             cpu_model=cpu_model,
             scale=scale,
             n_cpus=n_cpus,
-            mem_config=config,
+            overrides=dict(mem_config_overrides or {}),
             cpu_params=cpu_params,
             max_cycles=max_cycles,
         )
-    return results
+        for arch in archs
+    ]
+    active = runner if runner is not None else Runner(jobs=jobs)
+    report = active.run(batch)
+    return {
+        outcome.job.arch: outcome.result for outcome in report.outcomes
+    }

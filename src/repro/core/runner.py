@@ -1,0 +1,453 @@
+"""Process-parallel, cache-aware experiment runner.
+
+The paper's evaluation is an embarrassingly parallel matrix — three
+architectures x seven workloads x two CPU models, plus ablation sweeps
+— and every point is an independent simulation. This module turns that
+observation into infrastructure:
+
+* :class:`Job` — a picklable description of one simulation (architecture,
+  workload *name*, CPU model, scale, config overrides). Workloads are
+  resolved through the :data:`repro.workloads.WORKLOADS` registry on the
+  worker side, so a job crosses process boundaries as a few strings and
+  ints rather than a live object graph.
+* :class:`Runner` — executes a batch of jobs over a
+  ``concurrent.futures.ProcessPoolExecutor`` (``jobs=N``), with a serial
+  in-process fallback for ``jobs=1`` (debugging, non-picklable factories)
+  that produces bit-identical results.
+* :class:`ResultCache` — a content-addressed on-disk cache keyed by the
+  SHA-256 of the job spec plus a fingerprint of the package source, so
+  re-running an unchanged figure is instant and editing the simulator
+  invalidates every stale entry.
+* :class:`RunReport` — per-job wall times, cache hit/miss counts and
+  worker utilization, for the CLI and scripts to surface.
+
+Everything that previously looped ``run_one`` serially —
+:func:`repro.core.experiment.run_architecture_comparison`, the sweep
+helpers, the benchmark harness, ``scripts/reproduce_all.py`` — now
+submits batches here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import repro
+from repro.core.configs import CpuParams, config_for_scale
+from repro.core.experiment import (
+    ExperimentResult,
+    WorkloadFactory,
+    run_one,
+)
+from repro.errors import ConfigError
+
+
+def default_jobs() -> int:
+    """Worker-count default: every core the host offers."""
+    return os.cpu_count() or 1
+
+
+def default_cache_dir() -> Path:
+    """Cache location: ``$REPRO_CACHE_DIR``, else XDG cache dir."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-isca96"
+
+
+# ----------------------------------------------------------------------
+# Job specification
+
+
+@dataclass
+class Job:
+    """One simulation, described by value.
+
+    ``workload`` is normally a registry name (a key of
+    :data:`repro.workloads.WORKLOADS`, extendable via
+    :func:`register_workload`); the factory is looked up *in the worker
+    process*, so the spec pickles as plain data. A factory callable is
+    also accepted for ad-hoc workloads (tests, notebooks) — it must be
+    picklable (module-level) to run under ``jobs > 1``, and such jobs
+    hash by the callable's qualified name.
+
+    ``overrides`` are :class:`~repro.mem.hierarchy.MemConfig` field
+    overrides, applied on the worker via
+    :meth:`~repro.mem.hierarchy.MemConfig.with_overrides` so they are
+    re-validated like constructor arguments.
+    """
+
+    arch: str
+    workload: str | WorkloadFactory
+    cpu_model: str = "mipsy"
+    scale: str = "test"
+    n_cpus: int = 4
+    overrides: dict = field(default_factory=dict)
+    cpu_params: CpuParams | None = None
+    max_cycles: int | None = None
+
+    def workload_key(self) -> str:
+        """Stable identity of the workload for hashing and display."""
+        if isinstance(self.workload, str):
+            return self.workload
+        qualname = getattr(self.workload, "__qualname__", None)
+        module = getattr(self.workload, "__module__", "?")
+        return f"{module}.{qualname or self.workload!r}"
+
+    def resolve_factory(self) -> WorkloadFactory:
+        """The workload factory this job runs (registry lookup)."""
+        if not isinstance(self.workload, str):
+            return self.workload
+        from repro.workloads import WORKLOADS
+
+        registry = {**WORKLOADS, **_EXTRA_WORKLOADS}
+        try:
+            return registry[self.workload]
+        except KeyError:
+            raise ConfigError(
+                f"unknown workload {self.workload!r}; expected one of "
+                f"{sorted(registry)}"
+            ) from None
+
+    def label(self) -> str:
+        """Short human-readable description for progress lines."""
+        text = f"{self.workload_key()}/{self.arch}/{self.cpu_model}"
+        if self.overrides:
+            text += " " + ",".join(
+                f"{key}={value}"
+                for key, value in sorted(self.overrides.items())
+            )
+        return text
+
+    def spec(self) -> dict:
+        """The canonical JSON-serializable description of this job."""
+        return {
+            "arch": self.arch,
+            "workload": self.workload_key(),
+            "cpu_model": self.cpu_model,
+            "scale": self.scale,
+            "n_cpus": self.n_cpus,
+            "overrides": {
+                key: self.overrides[key] for key in sorted(self.overrides)
+            },
+            "cpu_params": (
+                dataclasses.asdict(self.cpu_params)
+                if self.cpu_params is not None
+                else None
+            ),
+            "max_cycles": self.max_cycles,
+        }
+
+    def key(self) -> str:
+        """Content address: SHA-256 over the spec + code fingerprint."""
+        payload = json.dumps(
+            {
+                "spec": self.spec(),
+                "version": repro.__version__,
+                "source": _source_fingerprint(),
+            },
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def run(self) -> ExperimentResult:
+        """Execute this job in the current process."""
+        config = config_for_scale(self.scale, self.n_cpus)
+        if self.overrides:
+            config = config.with_overrides(**self.overrides)
+        return run_one(
+            self.arch,
+            self.resolve_factory(),
+            cpu_model=self.cpu_model,
+            scale=self.scale,
+            n_cpus=self.n_cpus,
+            mem_config=config,
+            cpu_params=self.cpu_params,
+            max_cycles=self.max_cycles,
+        )
+
+
+#: Extra workload factories registered at runtime (examples, tests).
+_EXTRA_WORKLOADS: dict[str, WorkloadFactory] = {}
+
+
+def register_workload(name: str, factory: WorkloadFactory) -> None:
+    """Register a workload factory under ``name`` for job lookup.
+
+    Lets custom workloads participate in the runner by name. Note that
+    registration is per-process: under ``jobs > 1`` the worker resolves
+    names against the static registry only, so parallel runs of a
+    custom workload should pass the (picklable) factory itself.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigError("workload name must be a non-empty string")
+    _EXTRA_WORKLOADS[name] = factory
+
+
+def _execute_job(job: Job) -> ExperimentResult:
+    """Module-level trampoline so the pool can pickle the call."""
+    return job.run()
+
+
+_FINGERPRINT: str | None = None
+
+
+def _source_fingerprint() -> str:
+    """Digest of the installed package source (path, size, mtime).
+
+    Part of every cache key: editing any module under ``repro``
+    invalidates the whole cache, so a stale entry can never shadow a
+    code change — without requiring a version bump per edit.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            stat = path.stat()
+            digest.update(
+                f"{path.relative_to(root)}:{stat.st_size}:"
+                f"{stat.st_mtime_ns}\n".encode("utf-8")
+            )
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache
+
+
+class ResultCache:
+    """Content-addressed store of :class:`ExperimentResult` payloads.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is
+    :meth:`Job.key`. Each file holds the job spec (for debuggability)
+    and the result's :meth:`~ExperimentResult.to_dict` dump. Entries
+    are written atomically (tmp + rename) so concurrent runners sharing
+    a cache directory never observe torn files; corrupt or unreadable
+    entries are treated as misses and dropped.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root).expanduser() if root else default_cache_dir()
+
+    def path_for(self, job: Job) -> Path:
+        """Where ``job``'s result lives (whether or not it exists)."""
+        key = job.key()
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, job: Job) -> ExperimentResult | None:
+        """The cached result for ``job``, or ``None`` on a miss."""
+        path = self.path_for(job)
+        try:
+            payload = json.loads(path.read_text())
+            return ExperimentResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self._drop(path)
+            return None
+
+    def put(self, job: Job, result: ExperimentResult) -> None:
+        """Store ``result`` under ``job``'s content address."""
+        path = self.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": job.key(),
+            "spec": job.spec(),
+            "version": repro.__version__,
+            "result": result.to_dict(),
+        }
+        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(path)
+
+    @staticmethod
+    def _drop(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Runner and telemetry
+
+
+@dataclass
+class JobOutcome:
+    """One job's result plus how it was obtained."""
+
+    job: Job
+    result: ExperimentResult
+    cached: bool = False
+    wall_seconds: float = 0.0       # execution time *this* run (0 on hit)
+
+
+@dataclass
+class RunReport:
+    """Telemetry for one :meth:`Runner.run` batch.
+
+    ``outcomes`` preserves submission order regardless of completion
+    order, so callers can zip it back against their job list.
+    """
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    workers: int = 1
+    total_wall: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def results(self) -> list[ExperimentResult]:
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total simulation time across all workers."""
+        return sum(outcome.wall_seconds for outcome in self.outcomes)
+
+    def utilization(self) -> float:
+        """Busy fraction of the worker pool over the batch wall time."""
+        if self.total_wall <= 0 or self.workers <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.workers * self.total_wall))
+
+    def summary(self) -> str:
+        """One-line account of the batch for logs and the CLI."""
+        executed = len(self.outcomes) - self.cache_hits
+        parts = [
+            f"{len(self.outcomes)} job(s) in {self.total_wall:.1f}s "
+            f"on {self.workers} worker(s)"
+        ]
+        parts.append(f"{executed} run, {self.cache_hits} cached")
+        if executed:
+            parts.append(f"{100 * self.utilization():.0f}% utilization")
+        return "; ".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable telemetry (perf baselines, dashboards)."""
+        return {
+            "jobs": len(self.outcomes),
+            "workers": self.workers,
+            "total_wall": self.total_wall,
+            "busy_seconds": self.busy_seconds,
+            "utilization": self.utilization(),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "per_job": [
+                {
+                    "label": outcome.job.label(),
+                    "wall_seconds": outcome.wall_seconds,
+                    "cached": outcome.cached,
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+
+class Runner:
+    """Executes :class:`Job` batches, in-process or over a process pool.
+
+    ``jobs`` is the worker count (default: all cores). ``jobs=1`` runs
+    every job serially in the calling process — no pickling, easy
+    breakpoints — and is guaranteed to produce the same statistics as
+    the parallel path (the simulations are deterministic and share no
+    state).
+
+    ``cache`` is an optional :class:`ResultCache`; pass one to make
+    re-runs of unchanged jobs instant. The library default is *no*
+    caching — the CLI and scripts opt in explicitly.
+
+    ``progress`` is an optional callable receiving one line per job
+    event (completion or cache hit).
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache: ResultCache | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        requested = default_jobs() if jobs is None else jobs
+        if requested < 1:
+            raise ConfigError("runner needs at least one worker")
+        self.n_jobs = requested
+        self.cache = cache
+        self.progress = progress
+        self.last_report: RunReport | None = None
+
+    def _tick(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def run(self, batch: Sequence[Job]) -> RunReport:
+        """Execute ``batch``; returns outcomes in submission order."""
+        batch = list(batch)
+        started = time.perf_counter()
+        outcomes: list[JobOutcome | None] = [None] * len(batch)
+
+        pending: list[tuple[int, Job]] = []
+        hits = 0
+        for index, job in enumerate(batch):
+            cached = self.cache.get(job) if self.cache else None
+            if cached is not None:
+                hits += 1
+                outcomes[index] = JobOutcome(job, cached, cached=True)
+                self._tick(f"[cache] {job.label()}")
+            else:
+                pending.append((index, job))
+
+        workers = min(self.n_jobs, len(pending)) if pending else 1
+        if workers <= 1:
+            for index, job in pending:
+                outcomes[index] = self._finish(index, job, job.run())
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_execute_job, job): (index, job)
+                    for index, job in pending
+                }
+                for future in as_completed(futures):
+                    index, job = futures[future]
+                    outcomes[index] = self._finish(
+                        index, job, future.result()
+                    )
+
+        report = RunReport(
+            outcomes=[outcome for outcome in outcomes if outcome is not None],
+            workers=workers,
+            total_wall=time.perf_counter() - started,
+            cache_hits=hits,
+            cache_misses=len(pending) if self.cache else 0,
+        )
+        self.last_report = report
+        return report
+
+    def _finish(
+        self, index: int, job: Job, result: ExperimentResult
+    ) -> JobOutcome:
+        if self.cache is not None:
+            self.cache.put(job, result)
+        self._tick(f"[{result.wall_seconds:5.1f}s] {job.label()}")
+        return JobOutcome(job, result, wall_seconds=result.wall_seconds)
+
+
+def run_jobs(
+    batch: Sequence[Job],
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> RunReport:
+    """One-shot convenience wrapper around :class:`Runner`."""
+    return Runner(jobs=jobs, cache=cache, progress=progress).run(batch)

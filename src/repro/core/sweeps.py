@@ -4,6 +4,11 @@ The evaluation's ablations all have the same shape: vary one knob, run
 the architecture matrix at each value, collect a table. This module
 makes that a one-liner and returns structured results the CLI, the
 examples, and the benchmark harnesses can all render.
+
+Every sweep builds its full (value x architecture) job list up front
+and submits it as one :class:`repro.core.runner.Runner` batch, so
+``jobs=N`` parallelizes across the *whole* sweep, not just within one
+matrix.
 """
 
 from __future__ import annotations
@@ -12,12 +17,9 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.configs import ARCHITECTURES
-from repro.core.experiment import (
-    ExperimentResult,
-    WorkloadFactory,
-    run_architecture_comparison,
-)
+from repro.core.experiment import ExperimentResult, WorkloadFactory
 from repro.core.report import normalized_times
+from repro.core.runner import Job, Runner
 from repro.errors import ConfigError
 
 
@@ -72,7 +74,7 @@ class SweepResult:
 
 
 def sweep_mem_field(
-    factory: WorkloadFactory,
+    factory: WorkloadFactory | str,
     sweep_field: str,
     values: Sequence,
     cpu_model: str = "mipsy",
@@ -81,6 +83,8 @@ def sweep_mem_field(
     archs: tuple[str, ...] = ARCHITECTURES,
     max_cycles: int | None = 50_000_000,
     base_overrides: dict | None = None,
+    jobs: int = 1,
+    runner: Runner | None = None,
 ) -> SweepResult:
     """Sweep one :class:`~repro.mem.hierarchy.MemConfig` field.
 
@@ -89,29 +93,39 @@ def sweep_mem_field(
     """
     if not values:
         raise ConfigError("sweep needs at least one value")
-    result = SweepResult(field=sweep_field, values=list(values))
+    batch = []
     for value in values:
         overrides = dict(base_overrides or {})
         overrides[sweep_field] = value
-        result.runs[value] = run_architecture_comparison(
-            factory,
-            cpu_model=cpu_model,
-            scale=scale,
-            n_cpus=n_cpus,
-            archs=archs,
-            max_cycles=max_cycles,
-            mem_config_overrides=overrides,
-        )
+        for arch in archs:
+            batch.append(Job(
+                arch=arch,
+                workload=factory,
+                cpu_model=cpu_model,
+                scale=scale,
+                n_cpus=n_cpus,
+                overrides=overrides,
+                max_cycles=max_cycles,
+            ))
+    active = runner if runner is not None else Runner(jobs=jobs)
+    outcomes = iter(active.run(batch).outcomes)
+    result = SweepResult(field=sweep_field, values=list(values))
+    for value in values:
+        result.runs[value] = {
+            arch: next(outcomes).result for arch in archs
+        }
     return result
 
 
 def sweep_cpu_count(
-    factory: WorkloadFactory,
+    factory: WorkloadFactory | str,
     counts: Sequence[int] = (1, 2, 4),
     cpu_model: str = "mipsy",
     scale: str = "test",
     archs: tuple[str, ...] = ARCHITECTURES,
     max_cycles: int | None = 50_000_000,
+    jobs: int = 1,
+    runner: Runner | None = None,
 ) -> dict[str, dict[int, ExperimentResult]]:
     """Run each architecture at several CPU counts.
 
@@ -120,19 +134,23 @@ def sweep_cpu_count(
     """
     if not counts:
         raise ConfigError("sweep needs at least one CPU count")
+    batch = [
+        Job(
+            arch=arch,
+            workload=factory,
+            cpu_model=cpu_model,
+            scale=scale,
+            n_cpus=n_cpus,
+            max_cycles=max_cycles,
+        )
+        for arch in archs
+        for n_cpus in counts
+    ]
+    active = runner if runner is not None else Runner(jobs=jobs)
+    outcomes = iter(active.run(batch).outcomes)
     table: dict[str, dict[int, ExperimentResult]] = {}
     for arch in archs:
-        table[arch] = {}
-        for n_cpus in counts:
-            runs = run_architecture_comparison(
-                factory,
-                cpu_model=cpu_model,
-                scale=scale,
-                n_cpus=n_cpus,
-                archs=(arch,),
-                max_cycles=max_cycles,
-            )
-            table[arch][n_cpus] = runs[arch]
+        table[arch] = {n_cpus: next(outcomes).result for n_cpus in counts}
     return table
 
 

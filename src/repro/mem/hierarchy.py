@@ -8,6 +8,7 @@ three architectures; the per-architecture presets in
 
 from __future__ import annotations
 
+import dataclasses
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -112,6 +113,21 @@ class MemConfig:
     def shared_l1_size(self) -> int:
         """The shared L1 pools the per-CPU capacity (4 x 16 KB = 64 KB)."""
         return self.l1d_size * self.n_cpus
+
+    def with_overrides(self, **overrides) -> "MemConfig":
+        """A copy with the given fields replaced, re-validated.
+
+        This is the one sanctioned way to apply ad-hoc overrides (CLI
+        ``--set``, bench ``BENCH_OVERRIDES``, sweep points): unlike raw
+        ``setattr`` it goes back through ``__init__``/``__post_init__``,
+        so an override can never smuggle in a value the constructor
+        would have rejected.
+        """
+        names = {f.name for f in dataclasses.fields(self)}
+        for key in overrides:
+            if key not in names:
+                raise ConfigError(f"unknown MemConfig field {key!r}")
+        return dataclasses.replace(self, **overrides)
 
     def scaled(self, divisor: int) -> "MemConfig":
         """A copy with every cache size divided by ``divisor``.

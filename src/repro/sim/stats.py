@@ -15,7 +15,7 @@ increment attributes directly in their hot loops.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from enum import IntEnum
 
 
@@ -107,6 +107,15 @@ class CacheStats:
             setattr(merged, attr, getattr(self, attr) + getattr(other, attr))
         return merged
 
+    def to_dict(self) -> dict:
+        """Every counter, keyed by field name (cache/IPC round-trips)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
 
 @dataclass
 class CycleBreakdown:
@@ -169,6 +178,11 @@ class CycleBreakdown:
         for name in self._FIELDS:
             setattr(merged, name, getattr(self, name) + getattr(other, name))
         return merged
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CycleBreakdown":
+        """Inverse of :meth:`as_dict`."""
+        return cls(**{name: data.get(name, 0) for name in cls._FIELDS})
 
 
 @dataclass
@@ -242,6 +256,15 @@ class MxsStats:
         """Fraction of cycles the fetch stage could not fetch."""
         return self.fetch_stall_cycles / self.cycles if self.cycles else 0.0
 
+    def to_dict(self) -> dict:
+        """Every counter, keyed by field name (cache/IPC round-trips)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MxsStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
 
 @dataclass
 class SystemStats:
@@ -300,3 +323,47 @@ class SystemStats:
     def ipc(self) -> float:
         """Aggregate instructions per cycle over the whole machine."""
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    def to_dict(self) -> dict:
+        """Full-fidelity dump of every counter in the run.
+
+        Unlike the *summary* emitted by
+        :meth:`repro.core.experiment.ExperimentResult.to_dict`'s derived
+        fields, this captures the complete state — per-CPU breakdowns,
+        per-CPU MXS counters, and every named cache — so
+        :meth:`from_dict` reconstructs an equivalent ``SystemStats``.
+        The experiment runner's on-disk result cache depends on this
+        round-trip being exact.
+        """
+        return {
+            "n_cpus": self.n_cpus,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "breakdowns": [b.as_dict() for b in self.breakdowns],
+            "mxs": [m.to_dict() for m in self.mxs],
+            "caches": {
+                name: stats.to_dict()
+                for name, stats in sorted(self.caches.items())
+            },
+            "bus_busy_cycles": self.bus_busy_cycles,
+            "c2c_transfers": self.c2c_transfers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            n_cpus=data["n_cpus"],
+            cycles=data["cycles"],
+            instructions=data["instructions"],
+            breakdowns=[
+                CycleBreakdown.from_dict(b) for b in data["breakdowns"]
+            ],
+            mxs=[MxsStats.from_dict(m) for m in data["mxs"]],
+            caches={
+                name: CacheStats.from_dict(c)
+                for name, c in data["caches"].items()
+            },
+            bus_busy_cycles=data["bus_busy_cycles"],
+            c2c_transfers=data["c2c_transfers"],
+        )

@@ -12,6 +12,16 @@ from repro.sync.barrier import Barrier
 from repro.workloads.base import Workload
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the experiment runner's default cache at a throwaway dir.
+
+    CLI invocations under test would otherwise read and write the
+    user's real on-disk result cache (~/.cache/repro-isca96).
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 class LoopWorkload(Workload):
     """Each CPU streams loads/stores over a private array, no sharing."""
 

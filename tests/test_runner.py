@@ -1,0 +1,301 @@
+"""Tests for the process-parallel, cache-aware experiment runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.experiment import (
+    ExperimentResult,
+    run_architecture_comparison,
+    run_one,
+)
+from repro.core.runner import (
+    Job,
+    ResultCache,
+    Runner,
+    register_workload,
+    run_jobs,
+)
+from repro.core.sweeps import sweep_mem_field
+from repro.errors import ConfigError
+from repro.mem.hierarchy import MemConfig
+from repro.sim.stats import SystemStats
+from repro.workloads import WORKLOADS
+
+MATRIX = ("shared-l1", "shared-l2", "shared-mem")
+CAP = 2_000_000
+
+
+def _batch(workload: str = "eqntott", **kw) -> list[Job]:
+    return [
+        Job(arch=arch, workload=workload, scale="test", max_cycles=CAP, **kw)
+        for arch in MATRIX
+    ]
+
+
+def _payloads(report) -> list[dict]:
+    """to_dict payloads with the wall-clock (the only nondeterministic
+    field) removed."""
+    payloads = []
+    for outcome in report.outcomes:
+        data = outcome.result.to_dict()
+        data.pop("wall_seconds")
+        payloads.append(data)
+    return payloads
+
+
+# ----------------------------------------------------------------------
+# Determinism: parallel == serial
+
+
+def test_parallel_matches_serial_exactly():
+    batch = _batch()
+    serial = Runner(jobs=1).run(batch)
+    parallel = Runner(jobs=4).run(batch)
+    assert parallel.workers > 1, "parallel run must actually fan out"
+    assert _payloads(serial) == _payloads(parallel)
+
+
+def test_serial_runner_matches_run_one():
+    report = Runner(jobs=1).run(_batch())
+    for outcome in report.outcomes:
+        direct = run_one(
+            outcome.job.arch,
+            WORKLOADS["eqntott"],
+            scale="test",
+            max_cycles=CAP,
+        )
+        assert outcome.result.cycles == direct.cycles
+        assert outcome.result.instructions == direct.instructions
+
+
+def test_outcomes_preserve_submission_order():
+    batch = _batch()
+    report = Runner(jobs=4).run(batch)
+    assert [o.job.arch for o in report.outcomes] == list(MATRIX)
+
+
+# ----------------------------------------------------------------------
+# Result cache
+
+
+def test_cache_hit_on_identical_job(tmp_path):
+    cache = ResultCache(tmp_path)
+    first = Runner(jobs=1, cache=cache).run(_batch())
+    second = Runner(jobs=1, cache=cache).run(_batch())
+    assert first.cache_hits == 0 and first.cache_misses == len(MATRIX)
+    assert second.cache_hits == len(MATRIX) and second.cache_misses == 0
+    # The cached results report byte-identical statistics (including
+    # the original run's wall clock).
+    firsts = [o.result.to_dict() for o in first.outcomes]
+    seconds = [o.result.to_dict() for o in second.outcomes]
+    assert firsts == seconds
+    assert all(o.cached for o in second.outcomes)
+
+
+def test_cache_miss_on_changed_override(tmp_path):
+    cache = ResultCache(tmp_path)
+    runner = Runner(jobs=1, cache=cache)
+    runner.run(_batch(overrides={"l2_assoc": 1}))
+    report = runner.run(_batch(overrides={"l2_assoc": 4}))
+    assert report.cache_hits == 0
+    assert report.cache_misses == len(MATRIX)
+
+
+def test_no_cache_bypasses_disk(tmp_path):
+    cache = ResultCache(tmp_path)
+    Runner(jobs=1, cache=cache).run(_batch())
+    report = Runner(jobs=1, cache=None).run(_batch())
+    assert report.cache_hits == 0 and report.cache_misses == 0
+    assert not any(outcome.cached for outcome in report.outcomes)
+
+
+def test_cache_survives_corrupt_entry(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = _batch()[0]
+    Runner(jobs=1, cache=cache).run([job])
+    path = cache.path_for(job)
+    path.write_text("{not json")
+    report = Runner(jobs=1, cache=cache).run([job])
+    assert report.cache_hits == 0, "corrupt entry must read as a miss"
+    assert report.outcomes[0].result.cycles > 0
+
+
+def test_cache_entry_is_valid_json_with_spec(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = _batch()[0]
+    Runner(jobs=1, cache=cache).run([job])
+    payload = json.loads(cache.path_for(job).read_text())
+    assert payload["spec"]["arch"] == job.arch
+    assert payload["spec"]["workload"] == "eqntott"
+    assert payload["result"]["stats"]["cycles"] > 0
+
+
+# ----------------------------------------------------------------------
+# Job spec
+
+
+def test_job_key_is_stable_and_spec_sensitive():
+    job = Job(arch="shared-l1", workload="ear", scale="test")
+    same = Job(arch="shared-l1", workload="ear", scale="test")
+    other = Job(arch="shared-l1", workload="ear", scale="bench")
+    assert job.key() == same.key()
+    assert job.key() != other.key()
+    assert job.key() != Job(
+        arch="shared-l1", workload="ear", scale="test",
+        overrides={"l2_assoc": 4},
+    ).key()
+
+
+def test_job_unknown_workload_raises():
+    with pytest.raises(ConfigError, match="unknown workload"):
+        Job(arch="shared-l1", workload="nonesuch").run()
+
+
+def test_job_unknown_override_raises():
+    job = Job(
+        arch="shared-l1", workload="ear", scale="test",
+        overrides={"warp_drive": 9},
+    )
+    with pytest.raises(ConfigError, match="unknown MemConfig field"):
+        job.run()
+
+
+def test_registered_workload_resolves_by_name():
+    register_workload("runner-test-loop", WORKLOADS["ear"])
+    job = Job(
+        arch="shared-l2", workload="runner-test-loop", scale="test",
+        max_cycles=CAP,
+    )
+    assert job.run().cycles > 0
+
+
+def test_register_workload_rejects_bad_name():
+    with pytest.raises(ConfigError):
+        register_workload("", WORKLOADS["ear"])
+
+
+# ----------------------------------------------------------------------
+# Telemetry
+
+
+def test_report_telemetry_accounts_for_every_job(tmp_path):
+    report = run_jobs(_batch(), jobs=1, cache=ResultCache(tmp_path))
+    data = report.to_dict()
+    assert data["jobs"] == len(MATRIX)
+    assert len(data["per_job"]) == len(MATRIX)
+    assert data["busy_seconds"] > 0
+    assert 0.0 <= data["utilization"] <= 1.0
+    assert report.summary()
+
+
+def test_progress_hook_fires_per_job(tmp_path):
+    lines: list[str] = []
+    cache = ResultCache(tmp_path)
+    Runner(jobs=1, cache=cache, progress=lines.append).run(_batch())
+    assert len(lines) == len(MATRIX)
+    Runner(jobs=1, cache=cache, progress=lines.append).run(_batch())
+    assert len(lines) == 2 * len(MATRIX)
+    assert any("[cache]" in line for line in lines)
+
+
+def test_runner_rejects_zero_workers():
+    with pytest.raises(ConfigError):
+        Runner(jobs=0)
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trips
+
+
+def test_experiment_result_round_trips_through_dict():
+    result = run_one("shared-l2", WORKLOADS["ear"], scale="test",
+                     max_cycles=CAP)
+    clone = ExperimentResult.from_dict(result.to_dict())
+    assert clone.to_dict() == result.to_dict()
+    assert clone.stats.aggregate_breakdown().as_dict() == \
+        result.stats.aggregate_breakdown().as_dict()
+
+
+def test_experiment_result_round_trips_through_json():
+    result = run_one("shared-l1", WORKLOADS["ear"], cpu_model="mxs",
+                     scale="test", max_cycles=CAP)
+    clone = ExperimentResult.from_dict(json.loads(result.to_json()))
+    assert clone.cycles == result.cycles
+    assert clone.per_cpu_ipc == result.per_cpu_ipc
+    assert [m.to_dict() for m in clone.stats.mxs] == \
+        [m.to_dict() for m in result.stats.mxs]
+
+
+def test_system_stats_round_trip_preserves_caches():
+    result = run_one("shared-mem", WORKLOADS["ear"], scale="test",
+                     max_cycles=CAP)
+    stats = SystemStats.from_dict(result.stats.to_dict())
+    assert set(stats.caches) == set(result.stats.caches)
+    l1 = stats.aggregate_caches(".l1d")
+    assert l1.miss_rate == result.stats.aggregate_caches(".l1d").miss_rate
+
+
+# ----------------------------------------------------------------------
+# with_overrides
+
+
+def test_with_overrides_revalidates():
+    config = MemConfig()
+    assert config.with_overrides(l2_assoc=4).l2_assoc == 4
+    with pytest.raises(ConfigError, match="unknown MemConfig field"):
+        config.with_overrides(bogus=1)
+    with pytest.raises(ConfigError):
+        config.with_overrides(l1d_size=-1)
+    with pytest.raises(ConfigError):
+        config.with_overrides(l1_coherence="telepathy")
+
+
+def test_with_overrides_leaves_original_untouched():
+    config = MemConfig()
+    config.with_overrides(l2_assoc=8)
+    assert config.l2_assoc == 1
+
+
+# ----------------------------------------------------------------------
+# Rebased consumers
+
+
+def test_comparison_parallel_matches_serial():
+    serial = run_architecture_comparison(
+        "ear", scale="test", max_cycles=CAP, jobs=1,
+    )
+    parallel = run_architecture_comparison(
+        "ear", scale="test", max_cycles=CAP, jobs=4,
+    )
+    for arch in MATRIX:
+        a, b = serial[arch].to_dict(), parallel[arch].to_dict()
+        a.pop("wall_seconds")
+        b.pop("wall_seconds")
+        assert a == b, arch
+
+
+def test_comparison_shares_runner_cache(tmp_path):
+    runner = Runner(jobs=1, cache=ResultCache(tmp_path))
+    run_architecture_comparison(
+        "ear", scale="test", max_cycles=CAP, runner=runner,
+    )
+    run_architecture_comparison(
+        "ear", scale="test", max_cycles=CAP, runner=runner,
+    )
+    assert runner.last_report is not None
+    assert runner.last_report.cache_hits == len(MATRIX)
+
+
+def test_sweep_by_name_parallel_matches_serial():
+    serial = sweep_mem_field(
+        "ear", "l2_assoc", (1, 4), scale="test", max_cycles=CAP, jobs=1,
+    )
+    parallel = sweep_mem_field(
+        "ear", "l2_assoc", (1, 4), scale="test", max_cycles=CAP, jobs=4,
+    )
+    for value in (1, 4):
+        for arch in MATRIX:
+            assert serial.cycles(value, arch) == parallel.cycles(value, arch)
