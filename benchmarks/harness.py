@@ -100,6 +100,14 @@ def report(
         "normalized time vs shared-mem: "
         + "  ".join(f"{arch}={value:.3f}" for arch, value in times.items())
     )
+    lines.append(
+        "host speed: "
+        + "  ".join(
+            f"{arch}={result.wall_seconds:.2f}s"
+            f"/{result.cycles / max(result.wall_seconds, 1e-9) / 1e6:.1f}Mc/s"
+            for arch, result in results.items()
+        )
+    )
     figure = name.split("_")[0].replace("fig0", "fig")
     if not mxs and figure in PAPER_EXPECTATIONS:
         lines.append("")

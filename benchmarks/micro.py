@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Microbenchmarks for the simulator's host-performance hot paths.
+
+Four scenarios, each chosen to stress one layer of the simulator:
+
+* ``l1_hit_storm``   — private arrays that fit in L1: after warmup every
+  access takes the L1 fast lane. Measures the per-instruction floor
+  (``MipsyCpu.tick`` + ``fast_load``/``fast_store``).
+* ``miss_storm``     — line-strided walks over arrays far larger than
+  L1: every load misses and takes the general ``access()`` path.
+  Measures the miss/coherence machinery the fast lane bypasses.
+* ``crossbar_contention`` — every CPU hammers the *same* shared array
+  on the shared-L1 architecture under MXS (Mipsy models the shared L1
+  optimistically, so only MXS exercises bank arbitration).
+* ``ocean_slice``    — a real workload (Ocean) across every
+  architecture x CPU model: the end-to-end number that the
+  ``reproduce_all`` wall-clock ultimately follows.
+
+Output is JSON (``--out``, default ``benchmarks/results/microbench.json``)
+with one record per (scenario, arch, cpu_model): host wall seconds,
+simulated cycles, and cycles per host second. ``--quick`` shrinks the
+workloads for CI smoke runs; ``scripts/bench_gate.py`` compares two of
+these JSON files and flags regressions.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/micro.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+from repro.core.runner import Job
+from repro.mem.functional import FunctionalMemory
+from repro.perf import sim_speed, time_call
+from repro.workloads.base import Workload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+DEFAULT_OUT = RESULTS_DIR / "microbench.json"
+
+#: Ocean at bench scale needs the harness's 1/4-scale caches (see
+#: benchmarks/harness.py BENCH_OVERRIDES) to keep its boundary-to-area
+#: ratio meaningful.
+OCEAN_BENCH_OVERRIDES = {
+    "l1d_size": 4096,
+    "l1i_size": 4096,
+    "l2_size": 512 * 1024,
+}
+
+MAX_CYCLES = 30_000_000
+
+
+class HitStorm(Workload):
+    """Each CPU loops load+store over a tiny private array (pure L1 hits)."""
+
+    name = "micro-hit-storm"
+
+    def __init__(
+        self,
+        n_cpus: int,
+        functional: FunctionalMemory,
+        iterations: int = 2000,
+        array_words: int = 16,
+    ) -> None:
+        super().__init__(n_cpus, functional)
+        self.iterations = iterations
+        self.array_words = array_words
+        self.region = self.code.region("micro.hit", 64)
+        self.arrays = [
+            self.data.alloc_array(array_words, 4) for _ in range(n_cpus)
+        ]
+
+    def program(self, cpu_id: int):
+        ctx = self.context(cpu_id)
+        em = ctx.emitter(self.region)
+        base = self.arrays[cpu_id]
+        words = self.array_words
+        for _ in range(self.iterations):
+            em.jump(0)
+            for i in range(words):
+                yield em.load(base + 4 * i)
+                yield em.store(base + 4 * i, src1=1)
+
+
+class MissStorm(Workload):
+    """Each CPU strides line-by-line over an array much larger than L1."""
+
+    name = "micro-miss-storm"
+
+    def __init__(
+        self,
+        n_cpus: int,
+        functional: FunctionalMemory,
+        iterations: int = 8,
+        array_lines: int = 2048,
+        line_size: int = 32,
+    ) -> None:
+        super().__init__(n_cpus, functional)
+        self.iterations = iterations
+        self.array_lines = array_lines
+        self.line_size = line_size
+        self.region = self.code.region("micro.miss", 64)
+        self.arrays = [
+            self.data.alloc_array(array_lines * line_size // 4, 4)
+            for _ in range(n_cpus)
+        ]
+
+    def program(self, cpu_id: int):
+        ctx = self.context(cpu_id)
+        em = ctx.emitter(self.region)
+        base = self.arrays[cpu_id]
+        stride = self.line_size
+        for _ in range(self.iterations):
+            em.jump(0)
+            for i in range(self.array_lines):
+                yield em.load(base + stride * i)
+
+
+class SharedReadStorm(Workload):
+    """Every CPU reads the same shared array (crossbar/bank contention)."""
+
+    name = "micro-shared-read"
+
+    def __init__(
+        self,
+        n_cpus: int,
+        functional: FunctionalMemory,
+        iterations: int = 400,
+        array_words: int = 64,
+    ) -> None:
+        super().__init__(n_cpus, functional)
+        self.iterations = iterations
+        self.array_words = array_words
+        self.region = self.code.region("micro.shared", 64)
+        self.block = self.data.alloc_array(array_words, 4)
+
+    def program(self, cpu_id: int):
+        ctx = self.context(cpu_id)
+        em = ctx.emitter(self.region)
+        base = self.block
+        for _ in range(self.iterations):
+            em.jump(0)
+            for i in range(self.array_words):
+                yield em.load(base + 4 * i)
+
+
+def _factory(cls, **kwargs):
+    """Adapt a micro workload class to the (n_cpus, functional, scale)
+    factory signature ``run_one`` expects (scale is ignored: the micro
+    workloads are sized explicitly)."""
+
+    def factory(n_cpus, functional, scale):
+        return cls(n_cpus, functional, **kwargs)
+
+    factory.__qualname__ = f"micro.{cls.__name__}"
+    factory.__module__ = __name__
+    return factory
+
+
+def build_benches(quick: bool) -> list[tuple[str, Job]]:
+    """The (name, job) list one invocation measures."""
+    shrink = 8 if quick else 1
+    benches: list[tuple[str, Job]] = []
+    hit = _factory(HitStorm, iterations=2000 // shrink)
+    miss = _factory(MissStorm, iterations=max(8 // shrink, 1))
+    shared = _factory(SharedReadStorm, iterations=400 // shrink)
+    for arch in ("shared-l1", "shared-l2", "shared-mem"):
+        benches.append((
+            "l1_hit_storm",
+            Job(arch=arch, workload=hit, scale="test", max_cycles=MAX_CYCLES),
+        ))
+        benches.append((
+            "miss_storm",
+            Job(arch=arch, workload=miss, scale="test", max_cycles=MAX_CYCLES),
+        ))
+    benches.append((
+        "crossbar_contention",
+        Job(
+            arch="shared-l1",
+            workload=shared,
+            cpu_model="mxs",
+            scale="test",
+            max_cycles=MAX_CYCLES,
+        ),
+    ))
+    ocean_scale = "test" if quick else "bench"
+    ocean_overrides = {} if quick else dict(OCEAN_BENCH_OVERRIDES)
+    for arch in ("shared-l1", "shared-l2", "shared-mem"):
+        for cpu_model in ("mipsy", "mxs"):
+            benches.append((
+                "ocean_slice",
+                Job(
+                    arch=arch,
+                    workload="ocean",
+                    cpu_model=cpu_model,
+                    scale=ocean_scale,
+                    overrides=ocean_overrides,
+                    max_cycles=MAX_CYCLES,
+                ),
+            ))
+    return benches
+
+
+def run_benches(quick: bool, repeat: int) -> dict:
+    """Execute every bench in-process; returns the JSON payload."""
+    records = []
+    for name, job in build_benches(quick):
+        result, wall = time_call(job.run, repeat=repeat)
+        stats = result.stats
+        records.append({
+            "name": name,
+            "arch": job.arch,
+            "cpu_model": job.cpu_model,
+            "wall_seconds": round(wall, 4),
+            "cycles": stats.cycles,
+            "instructions": stats.instructions,
+            "cycles_per_host_second": round(sim_speed(stats.cycles, wall)),
+        })
+        print(
+            f"  {name:<20} {job.arch:<10} {job.cpu_model:<6} "
+            f"{wall:7.3f}s  {stats.cycles:>10} cyc  "
+            f"{sim_speed(stats.cycles, wall) / 1e6:6.2f} Mc/s",
+            flush=True,
+        )
+    return {
+        "when": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "quick": quick,
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "benches": records,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrunken workloads for CI smoke runs (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="best-of-N timing per bench (default 1)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=str(DEFAULT_OUT),
+        help=f"where to write the JSON record (default {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    mode = "quick" if args.quick else "full"
+    print(f"microbenchmarks ({mode}, best of {args.repeat}):", flush=True)
+    payload = run_benches(args.quick, args.repeat)
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    total = sum(record["wall_seconds"] for record in payload["benches"])
+    print(f"total simulation wall: {total:.2f}s -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

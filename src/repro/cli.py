@@ -20,7 +20,9 @@ Subcommands::
 ``run``, ``compare`` and ``sweep`` accept ``--jobs N`` to execute the
 underlying simulations in N worker processes, and cache results
 on disk keyed by the full job spec (``--no-cache`` bypasses,
-``--cache-dir`` relocates; see repro.core.runner).
+``--cache-dir`` relocates; see repro.core.runner). ``run --profile``
+executes the simulation in-process under cProfile and prints the
+hottest functions (see docs/PERFORMANCE.md).
 
     python -m repro trace --workload eqntott --limit 60
         Dump a workload's instruction stream (no simulation).
@@ -126,6 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=[], metavar="FIELD=VALUE",
         help="override a MemConfig field (repeatable)",
     )
+    run_p.add_argument(
+        "--profile", action="store_true",
+        help="run in-process under cProfile and print the hottest "
+             "functions (ignores --jobs and the result cache)",
+    )
 
     cmp_p = sub.add_parser(
         "compare", help="run all three architectures and compare"
@@ -207,12 +214,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides=dict(args.overrides),
         max_cycles=args.max_cycles,
     )
+    profile_text = None
     try:
-        report = _runner_for(args).run([job])
+        if args.profile:
+            # Profiling wants the simulation in *this* process with no
+            # cache shortcut — a cache hit would profile JSON parsing.
+            from repro.perf import profile_call
+
+            result, profile_text = profile_call(job.run)
+            report = None
+        else:
+            report = _runner_for(args).run([job])
+            result = report.outcomes[0].result
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    result = report.outcomes[0].result
     stats = result.stats
     print(f"{args.workload} on {args.arch} ({args.cpu}, {args.scale}):")
     print(f"  cycles        {stats.cycles}")
@@ -240,7 +256,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
             print(f"    {name:<20} [{info['kind']}] {fields}")
     print(f"  wall time     {result.wall_seconds:.2f}s")
-    print(f"  runner        {report.summary()}")
+    if report is not None:
+        print(f"  runner        {report.summary()}")
+    if profile_text is not None:
+        print()
+        print(profile_text, end="")
     return 0
 
 

@@ -350,6 +350,14 @@ class RunReport:
                     "label": outcome.job.label(),
                     "wall_seconds": outcome.wall_seconds,
                     "cached": outcome.cached,
+                    "cycles": outcome.result.stats.cycles,
+                    # Simulation speed; None for cache hits (no host
+                    # time was spent simulating this run).
+                    "cycles_per_host_second": (
+                        outcome.result.stats.cycles / outcome.wall_seconds
+                        if outcome.wall_seconds > 0
+                        else None
+                    ),
                 }
                 for outcome in self.outcomes
             ],

@@ -96,25 +96,48 @@ class System:
         last_progress_cycle = 0
         last_instruction_count = 0
         engine = self.engine
-        max_cycles = self.max_cycles
+        # The event queue is almost always empty (deferred work is
+        # rare); binding the list makes the idle check one truth test
+        # instead of a peek_time() call per iteration.
+        equeue = engine._queue
         # The watchdog needs no per-cycle precision; checking it (and
         # the engine) every so often keeps sums out of the hot loop.
         watchdog_stride = 4096
         next_watchdog = watchdog_stride
+        huge = 1 << 62
+        max_cycles = self.max_cycles if self.max_cycles is not None else huge
 
         while active:
-            if engine.peek_time() is not None:
+            # Truncation is checked at the top so a max_cycles landing
+            # inside a fast-forward window stops the run before any CPU
+            # ticks past the limit (and before the watchdog can mistake
+            # the jump for a deadlock).
+            if cycle >= max_cycles:
+                self.truncated = True
+                break
+
+            if equeue and equeue[0].time <= cycle:
                 engine.run_until(cycle)
 
             n_active = len(active)
             rotation = cycle % n_cpus
             finished = False
+            # Tick every ready CPU; collect the earliest resume of the
+            # still-running ones in the same pass (the values are final
+            # once each CPU has ticked).
+            earliest = huge
             for index in range(n_active):
                 cpu = active[(index + rotation) % n_active]
-                if not cpu.done and cpu.resume <= cycle:
+                if cpu.done:
+                    continue
+                if cpu.resume <= cycle:
                     cpu.tick(cycle)
                     if cpu.done:
                         finished = True
+                        continue
+                resume = cpu.resume
+                if resume < earliest:
+                    earliest = resume
             if finished:
                 active = [cpu for cpu in active if not cpu.done]
                 if not active:
@@ -138,23 +161,20 @@ class System:
                         ),
                     )
 
-            if max_cycles is not None and cycle >= max_cycles:
-                self.truncated = True
-                break
-
             # Fast-forward to the next cycle anyone can make progress.
             next_cycle = cycle + 1
-            earliest = active[0].resume
-            for cpu in active:
-                if cpu.resume < earliest:
-                    earliest = cpu.resume
             if earliest > next_cycle:
                 next_cycle = earliest
-            pending = engine.peek_time()
-            if pending is not None and pending < next_cycle:
-                next_cycle = pending if pending > cycle else cycle + 1
+            if equeue:
+                pending = engine.peek_time()
+                if pending is not None and pending < next_cycle:
+                    next_cycle = pending if pending > cycle else cycle + 1
             cycle = next_cycle
 
+        # Fold the CPUs' batched hot-loop counters into the stats
+        # before anything reads them (truncated runs skip finish()).
+        for cpu in self.cpus:
+            cpu.flush_stats()
         end_cycle = max((cpu.resume for cpu in self.cpus), default=cycle)
         end_cycle = max(end_cycle, self.memory.drain(cycle))
         if not self.truncated:

@@ -25,6 +25,26 @@ ThreadProgram = Generator[Instruction, object, None]
 class BaseCpu(ABC):
     """One simulated processor bound to a thread program."""
 
+    __slots__ = (
+        "cpu_id",
+        "memory",
+        "functional",
+        "stats",
+        "breakdown",
+        "program",
+        "done",
+        "instructions",
+        "resume",
+        "_line_shift",
+        "_l1i_stats",
+        "_has_value",
+        "_send_value",
+        "_started",
+        "_fast_lane",
+        "_ifetch_pending",
+        "_busy_pending",
+    )
+
     def __init__(
         self,
         cpu_id: int,
@@ -47,6 +67,11 @@ class BaseCpu(ABC):
         self._has_value = False
         self._send_value: object = None
         self._started = False
+        self._fast_lane = memory.config.l1_fast_path
+        # Hot-loop counters batched as plain ints; folded into the
+        # stats objects by flush_stats() at stall/run boundaries.
+        self._ifetch_pending = 0
+        self._busy_pending = 0
 
     # ------------------------------------------------------------------
     # thread-program protocol
@@ -121,6 +146,20 @@ class BaseCpu(ABC):
     def tick(self, cycle: int) -> None:
         """Advance this CPU at ``cycle`` (called once per cycle while
         ``resume <= cycle`` and not ``done``)."""
+
+    def flush_stats(self) -> None:
+        """Fold the batched hot-loop counters into the stats objects.
+
+        The run loop calls this before anything reads the statistics
+        (run end, truncation); models may call it earlier at natural
+        stall boundaries.
+        """
+        if self._ifetch_pending:
+            self._l1i_stats.reads += self._ifetch_pending
+            self._ifetch_pending = 0
+        if self._busy_pending:
+            self.breakdown.busy += self._busy_pending
+            self._busy_pending = 0
 
     def finish(self, cycle: int) -> None:
         """Hook called once when the whole system run ends."""

@@ -24,6 +24,8 @@ from repro.mem.types import AccessKind, StallLevel
 class MipsyCpu(BaseCpu):
     """In-order, blocking, one-instruction-per-cycle CPU."""
 
+    __slots__ = ("_fetch_line",)
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._fetch_line = -1
@@ -33,36 +35,87 @@ class MipsyCpu(BaseCpu):
 
         Sets ``resume`` to the cycle at which the next instruction may
         start (the run loop skips ticks until then).
+
+        This is the single hottest function in the simulator: the
+        generator protocol is inlined (one call per instruction saved
+        over :meth:`next_instruction`), the L1-hit fast lane resolves
+        loads and I-fetches without the general dispatch, and the busy
+        and I-fetch counters batch in plain slots
+        (:meth:`~repro.cpu.base.BaseCpu.flush_stats`).
         """
-        inst = self.next_instruction()
-        if inst is None:
+        # Inlined next_instruction(): pull the next instruction,
+        # delivering any pending load value.
+        program = self.program
+        try:
+            if self._has_value:
+                self._has_value = False
+                value, self._send_value = self._send_value, None
+                inst = program.send(value)
+            else:
+                self._started = True
+                inst = next(program)
+        except StopIteration:
             self.done = True
             return
 
-        breakdown = self.breakdown
         memory = self.memory
         cpu_id = self.cpu_id
+        fast = self._fast_lane
 
         # Instruction fetch: sequential fetches within the current cache
         # line hit by construction; only line crossings and branch
         # targets probe the I-cache.
-        self._l1i_stats.reads += 1
+        self._ifetch_pending += 1
         exec_start = cycle
         fetch_line = inst.pc >> self._line_shift
         if fetch_line != self._fetch_line:
             self._fetch_line = fetch_line
-            fetch = memory.access(cpu_id, AccessKind.IFETCH, inst.pc, cycle)
-            if fetch.done - cycle > 1:
-                breakdown.istall += fetch.done - cycle - 1
-                exec_start = fetch.done - 1
+            if not fast or memory.fast_ifetch(cpu_id, inst.pc, cycle) < 0:
+                fetch = memory.access(
+                    cpu_id, AccessKind.IFETCH, inst.pc, cycle
+                )
+                if fetch.done - cycle > 1:
+                    self.breakdown.istall += fetch.done - cycle - 1
+                    exec_start = fetch.done - 1
 
-        breakdown.busy += 1
+        self._busy_pending += 1
         self.instructions += 1
 
         op = inst.op
         if op is OpClass.LOAD or op is OpClass.LL:
+            if fast:
+                done = memory.fast_load(cpu_id, inst.addr, exec_start)
+                if done >= 0:
+                    # L1 hit: any cycles beyond one are L1 time (the
+                    # shared-L1 crossbar), matching StallLevel.L1.
+                    stall = done - exec_start - 1
+                    if stall > 0:
+                        self.breakdown.l1d += stall
+                    if op is OpClass.LL:
+                        self._has_value = True
+                        self._send_value = self.functional.load_linked(
+                            cpu_id, inst.addr, done
+                        )
+                    elif inst.want_value:
+                        self._has_value = True
+                        self._send_value = self.functional.read(
+                            inst.addr, done, cpu=cpu_id
+                        )
+                    self.resume = done
+                    return
             result = memory.access(cpu_id, AccessKind.LOAD, inst.addr, exec_start)
         elif op is OpClass.STORE:
+            if fast and inst.value is None:
+                # Value-less posted store: nothing to publish, so the
+                # int-only lane applies. Any cycles beyond one are the
+                # write buffer refusing entry (StallLevel.STOREBUF).
+                done = memory.fast_store(cpu_id, inst.addr, exec_start)
+                if done >= 0:
+                    stall = done - exec_start - 1
+                    if stall > 0:
+                        self.breakdown.storebuf += stall
+                    self.resume = done
+                    return
             result = memory.access(cpu_id, AccessKind.STORE, inst.addr, exec_start)
         elif op is OpClass.SC:
             result = memory.access(
@@ -72,6 +125,7 @@ class MipsyCpu(BaseCpu):
             self.resume = exec_start + 1
             return
 
+        breakdown = self.breakdown
         stall = result.done - exec_start - 1
         if stall > 0:
             level = result.level

@@ -69,6 +69,23 @@ class _Record:
 class MxsCpu(BaseCpu):
     """2-way dynamic superscalar with non-blocking data cache."""
 
+    __slots__ = (
+        "params",
+        "btb",
+        "fus",
+        "mshrs",
+        "mxs",
+        "rob",
+        "_by_seq",
+        "_seq",
+        "_fetch_line",
+        "_fetch_unblock",
+        "_fetch_reason",
+        "_blocked_record",
+        "_pending_inst",
+        "_program_done",
+    )
+
     def __init__(self, *args, params=None, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         from repro.core.configs import CpuParams
@@ -273,6 +290,20 @@ class MxsCpu(BaseCpu):
                 if inst.want_value or op is OpClass.LL:
                     self._resolve_value(record)
                 return True
+            # L1 hit fast lane. Only after the MSHR probe: a line with
+            # an in-flight fill is already resident (fills insert at
+            # access time), so probing the tags first would turn a
+            # merge into a bogus 1-cycle hit.
+            if self._fast_lane:
+                done = memory.fast_load(self.cpu_id, inst.addr, cycle)
+                if done >= 0:
+                    record.issued = True
+                    record.done = done
+                    if done - cycle > 1:
+                        record.extra_hit_latency = True
+                    if inst.want_value or op is OpClass.LL:
+                        self._resolve_value(record, result_done=done)
+                    return True
             result = memory.access(
                 self.cpu_id, AccessKind.LOAD, inst.addr, cycle
             )
@@ -294,6 +325,14 @@ class MxsCpu(BaseCpu):
             return True
 
         # Stores and SCs.
+        if op is OpClass.STORE and inst.value is None and self._fast_lane:
+            # Value-less posted store: the ROB retires it next cycle
+            # regardless of the drain, so only the cache/buffer state
+            # changes matter — exactly what the fast lane performs.
+            if memory.fast_store(self.cpu_id, inst.addr, cycle) >= 0:
+                record.issued = True
+                record.done = cycle + 1
+                return True
         kind = (
             AccessKind.STORE_COND if op is OpClass.SC else AccessKind.STORE
         )
@@ -360,18 +399,22 @@ class MxsCpu(BaseCpu):
                 if inst is None:
                     self._program_done = True
                     break
-            self._l1i_stats.reads += 1
+            self._ifetch_pending += 1
             line = inst.pc >> self._line_shift
             if line != self._fetch_line:
                 self._fetch_line = line
-                result = memory.access(
-                    self.cpu_id, AccessKind.IFETCH, inst.pc, cycle
-                )
-                if result.done - cycle > 1:
-                    self._pending_inst = inst
-                    self._fetch_unblock = result.done
-                    self._fetch_reason = _BLOCK_ICACHE
-                    return fetched
+                if (
+                    not self._fast_lane
+                    or memory.fast_ifetch(self.cpu_id, inst.pc, cycle) < 0
+                ):
+                    result = memory.access(
+                        self.cpu_id, AccessKind.IFETCH, inst.pc, cycle
+                    )
+                    if result.done - cycle > 1:
+                        self._pending_inst = inst
+                        self._fetch_unblock = result.done
+                        self._fetch_reason = _BLOCK_ICACHE
+                        return fetched
             self._pending_inst = None
             record = _Record(self._seq, inst)
             self._seq += 1

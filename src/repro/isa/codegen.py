@@ -39,6 +39,10 @@ class CodeRegion:
         self.name = name
         self.base = base
         self.size = size
+        # Emitted-instruction memo, shared by every Emitter walking this
+        # region (Instructions are immutable, so a hot loop body is
+        # built once and re-yielded; see repro.isa.stream).
+        self._inst_cache: dict = {}
 
     @property
     def limit(self) -> int:

@@ -9,7 +9,12 @@ care of branch bookkeeping.
 Instructions are immutable once created: CPU models never modify them,
 so a thread program may construct the body of a hot loop once and yield
 the same objects every iteration — this is the main performance lever
-for the Python-level simulator.
+for the Python-level simulator. The emitter applies that lever
+automatically: every emit is memoized per region on (slot, operands),
+so a spin loop or an inner loop body allocates its instructions exactly
+once no matter how many iterations (or CPUs) replay it. The memo is
+capped so data-sweeping loops with unbounded distinct addresses cannot
+grow it without limit.
 """
 
 from __future__ import annotations
@@ -17,6 +22,10 @@ from __future__ import annotations
 from repro.errors import WorkloadError
 from repro.isa.codegen import CodeRegion
 from repro.isa.instructions import Instruction, OpClass
+
+#: Per-region cap on memoized instructions; beyond it, emits are
+#: constructed fresh (correct either way — the memo is pure reuse).
+_MEMO_CAP = 1 << 16
 
 
 class Emitter:
@@ -28,6 +37,8 @@ class Emitter:
     return stack, modeling the inter-function fetch behaviour that gives
     large programs their I-cache footprint.
     """
+
+    __slots__ = ("region", "_index", "_stack")
 
     def __init__(self, region: CodeRegion, start_index: int = 0) -> None:
         self.region = region
@@ -55,7 +66,19 @@ class Emitter:
 
     def op(self, opclass: OpClass, src1: int = 0, src2: int = 0) -> Instruction:
         """Emit one compute instruction of the given class."""
-        return Instruction(opclass, pc=self._pc(), src1=src1, src2=src2)
+        region = self.region
+        index = self._index
+        self._index = index + 1
+        key = (index % region.size, opclass, src1, src2)
+        cache = region._inst_cache
+        inst = cache.get(key)
+        if inst is None:
+            inst = Instruction(
+                opclass, pc=region.pc_of(index), src1=src1, src2=src2
+            )
+            if len(cache) < _MEMO_CAP:
+                cache[key] = inst
+        return inst
 
     def ialu(self, src1: int = 0, src2: int = 0) -> Instruction:
         """Emit an integer ALU instruction."""
@@ -100,13 +123,23 @@ class Emitter:
         With ``want_value`` the CPU sends the loaded value (from the
         timed functional memory) back into the thread program.
         """
-        return Instruction(
-            OpClass.LOAD,
-            pc=self._pc(),
-            addr=addr,
-            want_value=want_value,
-            src1=src1,
-        )
+        region = self.region
+        index = self._index
+        self._index = index + 1
+        key = (index % region.size, OpClass.LOAD, addr, want_value, src1)
+        cache = region._inst_cache
+        inst = cache.get(key)
+        if inst is None:
+            inst = Instruction(
+                OpClass.LOAD,
+                pc=region.pc_of(index),
+                addr=addr,
+                want_value=want_value,
+                src1=src1,
+            )
+            if len(cache) < _MEMO_CAP:
+                cache[key] = inst
+        return inst
 
     def store(
         self,
@@ -120,25 +153,59 @@ class Emitter:
         when the store completes; data stores whose values the
         simulation never reads pass ``None``.
         """
-        return Instruction(
-            OpClass.STORE,
-            pc=self._pc(),
-            addr=addr,
-            value=value,
-            src1=src1,
-        )
+        region = self.region
+        index = self._index
+        self._index = index + 1
+        key = (index % region.size, OpClass.STORE, addr, value, src1)
+        cache = region._inst_cache
+        inst = cache.get(key)
+        if inst is None:
+            inst = Instruction(
+                OpClass.STORE,
+                pc=region.pc_of(index),
+                addr=addr,
+                value=value,
+                src1=src1,
+            )
+            if len(cache) < _MEMO_CAP:
+                cache[key] = inst
+        return inst
 
     def ll(self, addr: int) -> Instruction:
         """Emit a load-linked; the value always comes back to the program."""
-        return Instruction(
-            OpClass.LL, pc=self._pc(), addr=addr, want_value=True
-        )
+        region = self.region
+        index = self._index
+        self._index = index + 1
+        key = (index % region.size, OpClass.LL, addr)
+        cache = region._inst_cache
+        inst = cache.get(key)
+        if inst is None:
+            inst = Instruction(
+                OpClass.LL, pc=region.pc_of(index), addr=addr, want_value=True
+            )
+            if len(cache) < _MEMO_CAP:
+                cache[key] = inst
+        return inst
 
     def sc(self, addr: int, value: int) -> Instruction:
         """Emit a store-conditional; success (1/0) comes back to the program."""
-        return Instruction(
-            OpClass.SC, pc=self._pc(), addr=addr, value=value, want_value=True
-        )
+        region = self.region
+        index = self._index
+        self._index = index + 1
+        key = (index % region.size, OpClass.SC, addr, value)
+        cache = region._inst_cache
+        inst = cache.get(key)
+        if inst is None:
+            inst = Instruction(
+                OpClass.SC,
+                pc=region.pc_of(index),
+                addr=addr,
+                value=value,
+                want_value=True,
+            )
+            if len(cache) < _MEMO_CAP:
+                cache[key] = inst
+        return inst
 
     # ------------------------------------------------------------------
     # control flow
@@ -156,18 +223,31 @@ class Emitter:
         through. Loops emit ``branch(taken=True, to=top)`` on every
         iteration but the last.
         """
-        pc = self.region.pc_of(self._index)
+        region = self.region
+        index = self._index
         if taken:
             if to is None:
                 raise WorkloadError("taken branch requires a target label")
             self._index = to
-            target = self.region.pc_of(to)
+            next_index = to
         else:
-            self._index += 1
-            target = self.region.pc_of(self._index)
-        return Instruction(
-            OpClass.BRANCH, pc=pc, taken=taken, target=target, src1=src1
-        )
+            next_index = index + 1
+            self._index = next_index
+        size = region.size
+        key = (index % size, OpClass.BRANCH, taken, next_index % size, src1)
+        cache = region._inst_cache
+        inst = cache.get(key)
+        if inst is None:
+            inst = Instruction(
+                OpClass.BRANCH,
+                pc=region.pc_of(index),
+                taken=taken,
+                target=region.pc_of(next_index),
+                src1=src1,
+            )
+            if len(cache) < _MEMO_CAP:
+                cache[key] = inst
+        return inst
 
     def call(self, region: CodeRegion) -> Instruction:
         """Emit a call (an always-taken branch) into another region."""

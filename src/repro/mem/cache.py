@@ -65,6 +65,19 @@ class CacheArray:
     are invalidation misses.
     """
 
+    __slots__ = (
+        "line_shift",
+        "set_bits",
+        "name",
+        "size",
+        "assoc",
+        "line_size",
+        "n_sets",
+        "_set_mask",
+        "_sets",
+        "tracker",
+    )
+
     def __init__(
         self,
         name: str,
@@ -204,9 +217,16 @@ class CacheArray:
         return len(self._sets[set_index])
 
     def flush(self) -> list[CacheLine]:
-        """Empty the cache, returning the dirty lines (for writeback)."""
+        """Empty the cache, returning the dirty lines (for writeback).
+
+        A flush discards the invalidation tracker too: the lines left
+        for a non-coherence reason, so a later miss on a previously
+        invalidated line is a replacement miss, not an invalidation
+        miss.
+        """
         dirty = [line for line in self.lines() if line.dirty]
         self._sets = [{} for _ in range(self.n_sets)]
+        self.tracker.clear()
         return dirty
 
     def __repr__(self) -> str:

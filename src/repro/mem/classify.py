@@ -31,6 +31,12 @@ class InvalidationTracker:
         replacement misses again."""
         self._invalidated.discard(line_addr)
 
+    def clear(self) -> None:
+        """Forget every recorded invalidation (cache flush: the lines
+        are gone for a non-coherence reason, so later misses on them
+        are ordinary replacement misses)."""
+        self._invalidated.clear()
+
     def classify(self, line_addr: int) -> MissKind:
         """Classify a miss on ``line_addr``."""
         if line_addr in self._invalidated:

@@ -33,6 +33,8 @@ class Crossbar:
     port even when they hit different banks).
     """
 
+    __slots__ = ("name", "latency", "occupancy", "banks", "ports", "wait_cycles")
+
     def __init__(
         self,
         name: str,

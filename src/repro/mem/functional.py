@@ -79,6 +79,11 @@ class FunctionalMemory:
         history = self._history.get(addr)
         if not history:
             return 0
+        last = history[-1]
+        if last[0] <= at:
+            # Common case (spin loops re-reading a settled flag): the
+            # newest write is already visible — no search needed.
+            return last[2]
         index = bisect_right(history, (at, self._seq, 0))
         if index == 0:
             return 0

@@ -84,6 +84,12 @@ class MemConfig:
     # no bank contention) per Section 4; MXS turns this off.
     shared_l1_optimistic: bool = False
 
+    # Resolve L1 hits through the single-probe fast lane
+    # (``MemorySystem.fast_load`` / ``fast_ifetch``). Behaviorally
+    # invisible; exists so the differential tests can force the general
+    # path and assert identical statistics.
+    l1_fast_path: bool = True
+
     # Shared-L2 L1 coherence policy (Section 2.3: "all processors
     # caching the line must receive invalidates or updates").
     # "invalidate" drops remote copies; "update" refreshes them in
@@ -169,6 +175,7 @@ class MemConfig:
             write_buffer_depth=self.write_buffer_depth,
             mshr_entries=self.mshr_entries,
             shared_l1_optimistic=self.shared_l1_optimistic,
+            l1_fast_path=self.l1_fast_path,
             l1_coherence=self.l1_coherence,
             bus=self.bus,
         )
@@ -195,6 +202,38 @@ class MemorySystem(ABC):
         self, cpu: int, kind: AccessKind, addr: int, at: int
     ) -> AccessResult:
         """Perform one access for ``cpu`` starting at cycle ``at``."""
+
+    # ------------------------------------------------------------------
+    # L1 hit fast lane
+    #
+    # The common case by far is an L1 hit: probe the tag dict, refresh
+    # LRU, bump a counter, done one cycle later. The fast methods
+    # resolve exactly that case and return the completion cycle as a
+    # plain int; they return -1 (no state changed) whenever anything
+    # beyond the single-probe hit is involved — a miss, an upgrade, a
+    # coherence action — and the CPU falls back to :meth:`access`.
+    # Implementations must be behaviorally invisible: with the lane
+    # disabled (``config.l1_fast_path = False``) every statistic and
+    # cycle count must come out identical. The defaults below decline
+    # every access, so wrappers such as the trace recorder see the full
+    # stream without overriding anything.
+
+    def fast_load(self, cpu: int, addr: int, at: int) -> int:
+        """L1 hit fast path for a data load; -1 means take ``access``."""
+        return -1
+
+    def fast_ifetch(self, cpu: int, addr: int, at: int) -> int:
+        """L1 hit fast path for an I-fetch; -1 means take ``access``."""
+        return -1
+
+    def fast_store(self, cpu: int, addr: int, at: int) -> int:
+        """L1 hit fast path for a *posted, value-less* store.
+
+        Only stores with no functional value may take this lane (the
+        int return carries the CPU-release cycle but not the visibility
+        time a value publish would need); -1 means take ``access``.
+        """
+        return -1
 
     def line_addr(self, addr: int) -> int:
         """Line address of a byte address under this configuration."""

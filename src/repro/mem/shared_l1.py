@@ -98,6 +98,63 @@ class SharedL1System(MemorySystem):
         return self._store(cpu, addr, at, posted=kind == AccessKind.STORE)
 
     # ------------------------------------------------------------------
+    # L1 hit fast lane: single tag probe + LRU refresh, no dispatch.
+    # Must mirror the hit legs of _ifetch/_load exactly — the
+    # differential tests run with the lane off and assert identical
+    # stats. The crossbar acquire commutes with the tag probe (their
+    # state is disjoint), so probing first is safe.
+
+    def fast_load(self, cpu: int, addr: int, at: int) -> int:
+        """Shared-L1 data hit (through the crossbar unless optimistic);
+        -1 on miss."""
+        l1d = self.l1d
+        line_addr = addr >> l1d.line_shift
+        cache_set = l1d._sets[line_addr & l1d._set_mask]
+        line = cache_set.get(line_addr)
+        if line is None:
+            return -1
+        del cache_set[line_addr]
+        cache_set[line_addr] = line
+        self._l1d_stats.reads += 1
+        if self.config.shared_l1_optimistic:
+            return at + 1
+        ready, _wait = self.crossbar.access(addr, at, port=cpu)
+        return ready
+
+    def fast_ifetch(self, cpu: int, addr: int, at: int) -> int:
+        """Private I-cache hit (single cycle); -1 on miss."""
+        cache = self.l1i[cpu]
+        line_addr = addr >> cache.line_shift
+        cache_set = cache._sets[line_addr & cache._set_mask]
+        line = cache_set.get(line_addr)
+        if line is None:
+            return -1
+        del cache_set[line_addr]
+        cache_set[line_addr] = line
+        return at + 1
+
+    def fast_store(self, cpu: int, addr: int, at: int) -> int:
+        """Posted store hitting the shared L1; -1 on miss."""
+        l1d = self.l1d
+        line_addr = addr >> l1d.line_shift
+        cache_set = l1d._sets[line_addr & l1d._set_mask]
+        line = cache_set.get(line_addr)
+        if line is None:
+            return -1
+        self._l1d_stats.writes += 1
+        buffer = self._store_buffers[cpu]
+        release, _stalled = buffer.admit(at)
+        if self.config.shared_l1_optimistic:
+            hit_done = at + 1
+        else:
+            hit_done, _wait = self.crossbar.access(addr, at, port=cpu)
+        del cache_set[line_addr]
+        cache_set[line_addr] = line
+        line.state = LineState.MODIFIED
+        buffer.push(hit_done)
+        return release + 1
+
+    # ------------------------------------------------------------------
 
     def _ifetch(self, cpu: int, addr: int, at: int) -> AccessResult:
         cache = self.l1i[cpu]

@@ -82,6 +82,37 @@ class SharedL2System(MemorySystem):
         return self._store(cpu, addr, at, posted=kind == AccessKind.STORE)
 
     # ------------------------------------------------------------------
+    # L1 hit fast lane: both private L1s are single-cycle, so a hit is
+    # a tag probe + LRU refresh (+ the read counter on the data side).
+    # A miss returns -1 untouched and the general path re-probes — a
+    # missing lookup does not mutate, so the double probe is invisible.
+
+    def fast_load(self, cpu: int, addr: int, at: int) -> int:
+        """Private write-through L1D hit (single cycle); -1 on miss."""
+        cache = self.l1d[cpu]
+        line_addr = addr >> cache.line_shift
+        cache_set = cache._sets[line_addr & cache._set_mask]
+        line = cache_set.get(line_addr)
+        if line is None:
+            return -1
+        del cache_set[line_addr]
+        cache_set[line_addr] = line
+        self._l1d_stats[cpu].reads += 1
+        return at + 1
+
+    def fast_ifetch(self, cpu: int, addr: int, at: int) -> int:
+        """Private I-cache hit (single cycle); -1 on miss."""
+        cache = self.l1i[cpu]
+        line_addr = addr >> cache.line_shift
+        cache_set = cache._sets[line_addr & cache._set_mask]
+        line = cache_set.get(line_addr)
+        if line is None:
+            return -1
+        del cache_set[line_addr]
+        cache_set[line_addr] = line
+        return at + 1
+
+    # ------------------------------------------------------------------
 
     def _ifetch(self, cpu: int, addr: int, at: int) -> AccessResult:
         cache = self.l1i[cpu]

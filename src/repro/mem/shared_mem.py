@@ -88,6 +88,54 @@ class SharedMemorySystem(MemorySystem):
         return self._store(cpu, addr, at, posted=kind == AccessKind.STORE)
 
     # ------------------------------------------------------------------
+    # L1 hit fast lane: private single-cycle L1s, so a hit is a tag
+    # probe + LRU refresh (+ the read counter on the data side). Loads
+    # never change MESI state on a hit, so the lane is state-blind; a
+    # miss returns -1 with nothing touched.
+
+    def fast_load(self, cpu: int, addr: int, at: int) -> int:
+        """Private write-back L1D hit (single cycle); -1 on miss."""
+        cache = self.l1d[cpu]
+        line_addr = addr >> cache.line_shift
+        cache_set = cache._sets[line_addr & cache._set_mask]
+        line = cache_set.get(line_addr)
+        if line is None:
+            return -1
+        del cache_set[line_addr]
+        cache_set[line_addr] = line
+        self._l1d_stats[cpu].reads += 1
+        return at + 1
+
+    def fast_ifetch(self, cpu: int, addr: int, at: int) -> int:
+        """Private I-cache hit (single cycle); -1 on miss."""
+        cache = self.l1i[cpu]
+        line_addr = addr >> cache.line_shift
+        cache_set = cache._sets[line_addr & cache._set_mask]
+        line = cache_set.get(line_addr)
+        if line is None:
+            return -1
+        del cache_set[line_addr]
+        cache_set[line_addr] = line
+        return at + 1
+
+    def fast_store(self, cpu: int, addr: int, at: int) -> int:
+        """Posted store hitting an already-MODIFIED private L1 line;
+        -1 otherwise (E/S states need upgrades — general path)."""
+        cache = self.l1d[cpu]
+        line_addr = addr >> cache.line_shift
+        cache_set = cache._sets[line_addr & cache._set_mask]
+        line = cache_set.get(line_addr)
+        if line is None or line.state is not LineState.MODIFIED:
+            return -1
+        self._l1d_stats[cpu].writes += 1
+        buffer = self._store_buffers[cpu]
+        release, _stalled = buffer.admit(at)
+        del cache_set[line_addr]
+        cache_set[line_addr] = line
+        buffer.push(at + 1)
+        return release + 1
+
+    # ------------------------------------------------------------------
 
     def _ifetch(self, cpu: int, addr: int, at: int) -> AccessResult:
         cache = self.l1i[cpu]

@@ -1,0 +1,89 @@
+"""Profiling and measurement helpers for the simulator's hot paths.
+
+The simulator is a pure-Python cycle loop, so host performance lives
+and dies by a handful of functions (``MipsyCpu.tick``, the memory
+systems' fast lanes, the run loop in ``System.run``). This module
+packages the two measurement tools everything else builds on:
+
+* :func:`profile_call` — run any callable under :mod:`cProfile` and
+  get back both its result and a formatted hot-function report. The
+  CLI's ``run --profile`` flag and ad-hoc investigation both use it.
+* :func:`time_call` — best-of-N wall-clock timing for the
+  microbenchmarks in ``benchmarks/micro.py``.
+* :func:`sim_speed` — the simulated-cycles-per-host-second figure of
+  merit recorded in benchmark baselines.
+
+Nothing here touches simulation semantics; it is all host-side
+instrumentation.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from typing import Any, Callable
+
+__all__ = ["profile_call", "time_call", "sim_speed"]
+
+
+def profile_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    sort: str = "cumulative",
+    limit: int = 30,
+    **kwargs: Any,
+) -> tuple[Any, str]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, report)`` where ``report`` is the pstats text
+    for the ``limit`` hottest entries ordered by ``sort`` (any pstats
+    sort key: ``"cumulative"``, ``"tottime"``, ``"calls"``, ...). The
+    profile is collected even if ``fn`` raises; in that case the
+    exception propagates and the report is lost, which is fine — a
+    crashing run has no performance to report.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(sort).print_stats(limit)
+    return result, buffer.getvalue()
+
+
+def time_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    repeat: int = 1,
+    **kwargs: Any,
+) -> tuple[Any, float]:
+    """Call ``fn(*args, **kwargs)`` ``repeat`` times; keep the best.
+
+    Returns ``(last_result, best_wall_seconds)``. Best-of-N is the
+    standard microbenchmark discipline: the minimum is the least noisy
+    estimate of the code's true cost because interference (GC, other
+    processes) only ever adds time.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    best = float("inf")
+    result: Any = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        result = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return result, best
+
+
+def sim_speed(cycles: int, wall_seconds: float) -> float:
+    """Simulated cycles per host second (0.0 when no time was spent)."""
+    if wall_seconds <= 0:
+        return 0.0
+    return cycles / wall_seconds

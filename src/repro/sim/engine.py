@@ -7,33 +7,59 @@ earlier) executes before the CPUs tick.
 
 Events scheduled for the same cycle run in FIFO order of scheduling,
 which keeps the simulation deterministic.
+
+Cancellation is lazy: :meth:`Event.cancel` only flags the event, and the
+queue drops flagged entries when they reach the front. The engine keeps
+a count of still-queued cancelled events so ``len(engine)`` stays O(1)
+no matter how cancel-heavy the schedule is.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import SimulationError
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     Ordered by ``(time, seq)`` so ties break in scheduling order.
     """
 
-    time: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_engine")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        engine: "Engine | None" = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._engine = engine
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when its time comes."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._engine is not None:
+                self._engine._cancelled += 1
+
+    def __repr__(self) -> str:
+        flag = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} seq={self.seq}{flag}>"
 
 
 class Engine:
@@ -43,9 +69,10 @@ class Engine:
         self.now = 0
         self._queue: list[Event] = []
         self._seq = 0
+        self._cancelled = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        return len(self._queue) - self._cancelled
 
     def schedule(
         self,
@@ -62,7 +89,7 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {time}, now is {self.now}"
             )
-        event = Event(time=time, seq=self._seq, callback=callback, args=args)
+        event = Event(time, self._seq, callback, args, engine=self)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -79,7 +106,11 @@ class Engine:
         while queue and queue[0].time <= time:
             event = heapq.heappop(queue)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            # Detach so a late cancel() on an executed event cannot
+            # decrement the count of an event no longer queued.
+            event._engine = None
             if event.time > self.now:
                 self.now = event.time
             event.callback(*event.args)
@@ -95,7 +126,9 @@ class Engine:
         while queue:
             event = heapq.heappop(queue)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            event._engine = None
             if event.time > self.now:
                 self.now = event.time
             event.callback(*event.args)
@@ -103,10 +136,15 @@ class Engine:
         return executed
 
     def peek_time(self) -> int | None:
-        """Time of the earliest pending event, or ``None`` if idle."""
+        """Time of the earliest pending event, or ``None`` if idle.
+
+        Prunes cancelled events lazily from the front of the queue so
+        later pops see a live head.
+        """
         queue = self._queue
         while queue and queue[0].cancelled:
             heapq.heappop(queue)
+            self._cancelled -= 1
         if not queue:
             return None
         return queue[0].time

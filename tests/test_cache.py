@@ -128,6 +128,22 @@ def test_flush_returns_dirty_lines():
     assert cache.resident_count() == 0
 
 
+def test_flush_resets_invalidation_tracker():
+    """A flush empties the cache for a non-coherence reason, so a miss
+    on a line that was coherence-invalidated *before* the flush must
+    classify as a replacement miss, not an invalidation miss."""
+    cache = make_cache()
+    cache.insert(0x100)
+    cache.invalidate(0x100, coherence=True)
+    assert cache.classify_miss(0x100) == MissKind.MISS_INVALIDATION
+    cache.flush()
+    assert cache.classify_miss(0x100) == MissKind.MISS_REPLACEMENT
+    # The tracker still works for fresh invalidations after a flush.
+    cache.insert(0x100)
+    cache.invalidate(0x100, coherence=True)
+    assert cache.classify_miss(0x100) == MissKind.MISS_INVALIDATION
+
+
 def test_set_conflict_behaviour():
     # Direct-mapped: two addresses one cache-size apart conflict.
     cache = make_cache(size=1024, assoc=1, line=32)

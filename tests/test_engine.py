@@ -111,3 +111,43 @@ def test_len_counts_pending_non_cancelled():
     assert len(engine) == 2
     event.cancel()
     assert len(engine) == 1
+
+
+def test_len_stays_correct_under_cancel_heavy_schedule():
+    """len() is O(1) via a cancelled counter; a cancel-heavy schedule
+    must keep it exact through cancels, double-cancels, pops and
+    lazy pruning."""
+    engine = Engine()
+    events = [engine.schedule(t, lambda: None) for t in range(1, 101)]
+    assert len(engine) == 100
+    for event in events[1::2]:
+        event.cancel()
+    assert len(engine) == 50
+    # Double-cancel must not decrement twice.
+    events[1].cancel()
+    assert len(engine) == 50
+    # Running past some events pops live and cancelled ones alike.
+    executed = engine.run_until(40)
+    assert executed == 20  # odd times 1..39
+    assert len(engine) == 30
+    # peek_time prunes the cancelled head lazily without losing count.
+    for event in events[40:50]:
+        if not event.cancelled:
+            event.cancel()
+    assert engine.peek_time() == 51
+    assert len(engine) == 25
+    assert engine.drain() == 25
+    assert len(engine) == 0
+
+
+def test_cancel_after_pop_does_not_corrupt_count():
+    """Cancelling an event that already ran (or was already pruned)
+    must not push the counter negative."""
+    engine = Engine()
+    event = engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: None)
+    engine.run_until(1)
+    event.cancel()  # already popped and executed
+    event.cancel()
+    assert len(engine) >= 0
+    assert engine.peek_time() == 2

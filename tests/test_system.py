@@ -122,6 +122,28 @@ def test_max_cycles_truncates():
     assert stats.cycles <= 500 + 200
 
 
+def test_max_cycles_inside_fast_forward_window_truncates():
+    """When every CPU is stalled on a long miss, the run loop
+    fast-forwards past ``max_cycles`` in one jump. The truncation check
+    runs at the top of the loop, so the run must stop with
+    ``truncated`` set — and the jump must never be mistaken for a
+    deadlock, even with a horizon shorter than the stall."""
+    functional = FunctionalMemory()
+    workload = LoopWorkload(1, functional, iterations=10_000)
+    system = System(
+        "shared-mem",
+        workload,
+        mem_config=make_test_config(1),
+        # The first data load misses L1, L2 and goes to memory — a
+        # multi-ten-cycle stall. Cap the run inside that window.
+        max_cycles=5,
+        deadlock_horizon=1,
+    )
+    stats = system.run()
+    assert system.truncated
+    assert stats.cycles >= 5
+
+
 def test_stats_cycles_is_makespan():
     system = build_system("shared-mem", LoopWorkload, iterations=5)
     stats = system.run()
