@@ -55,6 +55,7 @@ def run_matrix(
     extra_overrides: dict | None = None,
     jobs: int = 1,
     runner=None,
+    obs_sample: int = 0,
 ) -> dict[str, ExperimentResult]:
     """Run one workload on all three architectures at bench scale.
 
@@ -63,6 +64,7 @@ def run_matrix(
     shares a configured :class:`repro.core.runner.Runner` (e.g. with a
     result cache) across many matrices. Overrides go through
     ``MemConfig.with_overrides`` and are therefore re-validated.
+    ``obs_sample`` > 0 attaches the utilization sampler to every run.
     """
     overrides = dict(BENCH_OVERRIDES.get(workload, {}))
     if extra_overrides:
@@ -77,6 +79,7 @@ def run_matrix(
         mem_config_overrides=overrides or None,
         jobs=jobs,
         runner=runner,
+        obs_sample=obs_sample,
     )
 
 

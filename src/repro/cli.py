@@ -22,7 +22,20 @@ underlying simulations in N worker processes, and cache results
 on disk keyed by the full job spec (``--no-cache`` bypasses,
 ``--cache-dir`` relocates; see repro.core.runner). ``run --profile``
 executes the simulation in-process under cProfile and prints the
-hottest functions (see docs/PERFORMANCE.md).
+hottest functions (see docs/PERFORMANCE.md); ``--profile-out PATH``
+also writes the full report to a file.
+
+``run`` can attach observability (see docs/OBSERVABILITY.md):
+``--sample-interval N`` samples per-component utilization every N
+cycles; ``--events out.json`` additionally records the event timeline
+as Chrome/Perfetto trace JSON.
+
+    python -m repro obs report --workload eqntott --arch shared-l1
+        Run one observed simulation and print the per-phase
+        utilization summary.
+
+    python -m repro obs validate trace.json
+        Check a recorded event file against the trace-format rules.
 
     python -m repro trace --workload eqntott --limit 60
         Dump a workload's instruction stream (no simulation).
@@ -133,6 +146,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="run in-process under cProfile and print the hottest "
              "functions (ignores --jobs and the result cache)",
     )
+    run_p.add_argument(
+        "--profile-out", metavar="PATH", default=None,
+        help="also write the full cProfile report to PATH "
+             "(implies --profile)",
+    )
+    run_p.add_argument(
+        "--sample-interval", type=int, default=None, metavar="N",
+        help="attach observability, sampling component utilization "
+             "every N cycles (see docs/OBSERVABILITY.md)",
+    )
+    run_p.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="record the event timeline to PATH as Chrome/Perfetto "
+             "trace JSON (runs in-process; implies observability)",
+    )
 
     cmp_p = sub.add_parser(
         "compare", help="run all three architectures and compare"
@@ -167,6 +195,41 @@ def build_parser() -> argparse.ArgumentParser:
         "selfcheck",
         help="run the fast invariant battery (seconds; for CI)",
     )
+
+    obs_p = sub.add_parser(
+        "obs", help="observability: phase reports and trace validation"
+    )
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    report_p = obs_sub.add_parser(
+        "report",
+        help="run one observed simulation and print per-phase utilization",
+    )
+    _add_common(report_p)
+    report_p.add_argument(
+        "--arch", "-a", required=True, choices=ARCHITECTURES,
+        help="memory architecture",
+    )
+    report_p.add_argument(
+        "--set", dest="overrides", type=_parse_override, action="append",
+        default=[], metavar="FIELD=VALUE",
+        help="override a MemConfig field (repeatable)",
+    )
+    report_p.add_argument(
+        "--sample-interval", type=int, default=1000, metavar="N",
+        help="sampling interval in cycles (default 1000)",
+    )
+    report_p.add_argument(
+        "--phases", type=int, default=8,
+        help="number of equal-time phases in the summary (default 8)",
+    )
+    report_p.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="also record the event timeline to PATH",
+    )
+    validate_p = obs_sub.add_parser(
+        "validate", help="check an event file against the trace rules"
+    )
+    validate_p.add_argument("path", help="trace JSON file to validate")
 
     trace_p = sub.add_parser(
         "trace", help="dump a workload's instruction stream (no simulation)"
@@ -213,15 +276,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n_cpus=args.cpus,
         overrides=dict(args.overrides),
         max_cycles=args.max_cycles,
+        obs_sample=args.sample_interval or 0,
     )
+    profile = args.profile or args.profile_out is not None
+    obs_config = None
+    if args.events is not None:
+        from repro.obs import DEFAULT_SAMPLE_INTERVAL, ObsConfig
+
+        obs_config = ObsConfig(
+            sample_interval=(
+                args.sample_interval
+                if args.sample_interval is not None
+                else DEFAULT_SAMPLE_INTERVAL
+            ),
+            events_path=args.events,
+        )
     profile_text = None
     try:
-        if args.profile:
+        if profile:
             # Profiling wants the simulation in *this* process with no
             # cache shortcut — a cache hit would profile JSON parsing.
             from repro.perf import profile_call
 
-            result, profile_text = profile_call(job.run)
+            result, profile_text = profile_call(
+                lambda: job.run(obs=obs_config)
+            )
+            report = None
+        elif obs_config is not None:
+            # The event file is written by the run itself, so it must
+            # happen in this process and never come from the cache.
+            result = job.run(obs=obs_config)
             report = None
         else:
             report = _runner_for(args).run([job])
@@ -258,9 +342,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  wall time     {result.wall_seconds:.2f}s")
     if report is not None:
         print(f"  runner        {report.summary()}")
+    obs_rollup = result.extras.get("obs")
+    if obs_rollup:
+        from repro.obs import format_rollup
+
+        print()
+        print(format_rollup(obs_rollup))
+        if args.events is not None:
+            print(f"events written to {args.events}")
     if profile_text is not None:
         print()
         print(profile_text, end="")
+        if args.profile_out is not None:
+            with open(args.profile_out, "w", encoding="utf-8") as handle:
+                handle.write(profile_text)
+            print(f"profile written to {args.profile_out}")
     return 0
 
 
@@ -357,6 +453,46 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import format_phase_table, format_rollup, validate_trace
+    from repro.obs.report import run_observed
+
+    if args.obs_command == "validate":
+        errors = validate_trace(args.path)
+        if errors:
+            for error in errors:
+                print(f"invalid: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.path}: valid trace")
+        return 0
+
+    try:
+        system, stats = run_observed(
+            args.workload,
+            args.arch,
+            cpu_model=args.cpu,
+            scale=args.scale,
+            n_cpus=args.cpus,
+            sample_interval=args.sample_interval,
+            events_path=args.events,
+            max_cycles=args.max_cycles,
+            overrides=dict(args.overrides) or None,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    obs = system.obs
+    print(f"{args.workload} on {args.arch} ({args.cpu}, {args.scale}): "
+          f"{stats.cycles} cycles, {stats.instructions} instructions")
+    print()
+    print(format_phase_table(obs.sampler, phases=args.phases))
+    print()
+    print(format_rollup(obs.rollup()))
+    if args.events is not None:
+        print(f"events written to {args.events}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.mem.functional import FunctionalMemory
 
@@ -403,6 +539,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "selfcheck":
         from repro.core.selfcheck import run_selfcheck
 

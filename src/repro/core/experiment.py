@@ -99,7 +99,7 @@ class ExperimentResult:
             "extras": {
                 key: value
                 for key, value in self.extras.items()
-                if key in ("resources", "truncated", "sync")
+                if key in ("resources", "truncated", "sync", "obs")
             },
             "stats": self.stats.to_dict(),
         }
@@ -150,8 +150,15 @@ def run_one(
     mem_config: MemConfig | None = None,
     cpu_params: CpuParams | None = None,
     max_cycles: int | None = None,
+    obs: "ObsConfig | None" = None,
 ) -> ExperimentResult:
-    """Build and run one system; returns the result record."""
+    """Build and run one system; returns the result record.
+
+    With ``obs`` set the run carries an attached
+    :class:`~repro.obs.observe.Observation`; its rollup lands in
+    ``extras["obs"]`` and, when ``obs.events_path`` is set, the event
+    timeline is written there as Chrome/Perfetto trace JSON.
+    """
     functional = FunctionalMemory()
     workload = factory(n_cpus, functional, scale)
     config = (
@@ -166,10 +173,23 @@ def run_one(
         mem_config=config,
         cpu_params=cpu_params,
         max_cycles=max_cycles,
+        obs=obs,
     )
     started = time.perf_counter()
     stats = system.run()
     elapsed = time.perf_counter() - started
+    extras = {
+        "resources": system.memory.resource_report(max(stats.cycles, 1)),
+        "truncated": system.truncated,
+        "sync": workload.sync_report(),
+    }
+    if system.obs is not None:
+        extras["obs"] = system.obs.rollup()
+        if obs.events_path:
+            system.obs.write_events(
+                obs.events_path,
+                label=f"{workload.name}/{arch}/{cpu_model}",
+            )
     return ExperimentResult(
         arch=arch,
         workload=workload.name,
@@ -177,11 +197,7 @@ def run_one(
         scale=scale,
         stats=stats,
         wall_seconds=elapsed,
-        extras={
-            "resources": system.memory.resource_report(max(stats.cycles, 1)),
-            "truncated": system.truncated,
-            "sync": workload.sync_report(),
-        },
+        extras=extras,
     )
 
 
@@ -196,6 +212,7 @@ def run_architecture_comparison(
     mem_config_overrides: dict | None = None,
     jobs: int = 1,
     runner: "Runner | None" = None,
+    obs_sample: int = 0,
 ) -> dict[str, ExperimentResult]:
     """Run one workload on every architecture; returns results by name.
 
@@ -226,6 +243,7 @@ def run_architecture_comparison(
             overrides=dict(mem_config_overrides or {}),
             cpu_params=cpu_params,
             max_cycles=max_cycles,
+            obs_sample=obs_sample,
         )
         for arch in archs
     ]

@@ -84,6 +84,11 @@ class Job:
     overrides, applied on the worker via
     :meth:`~repro.mem.hierarchy.MemConfig.with_overrides` so they are
     re-validated like constructor arguments.
+
+    ``obs_sample`` > 0 attaches observability with that sampling
+    interval; the rollup travels back in ``extras["obs"]`` (and through
+    the cache — the interval is part of the spec, so observed and
+    unobserved runs never share an entry).
     """
 
     arch: str
@@ -94,6 +99,7 @@ class Job:
     overrides: dict = field(default_factory=dict)
     cpu_params: CpuParams | None = None
     max_cycles: int | None = None
+    obs_sample: int = 0
 
     def workload_key(self) -> str:
         """Stable identity of the workload for hashing and display."""
@@ -145,6 +151,7 @@ class Job:
                 else None
             ),
             "max_cycles": self.max_cycles,
+            "obs_sample": self.obs_sample,
         }
 
     def key(self) -> str:
@@ -160,11 +167,21 @@ class Job:
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
-    def run(self) -> ExperimentResult:
-        """Execute this job in the current process."""
+    def run(self, obs: "ObsConfig | None" = None) -> ExperimentResult:
+        """Execute this job in the current process.
+
+        ``obs`` overrides the observability configuration (the CLI's
+        in-process ``--events`` path, which needs an output file the
+        picklable spec cannot carry); by default ``obs_sample`` > 0
+        enables sampling-only observability.
+        """
         config = config_for_scale(self.scale, self.n_cpus)
         if self.overrides:
             config = config.with_overrides(**self.overrides)
+        if obs is None and self.obs_sample > 0:
+            from repro.obs import ObsConfig
+
+            obs = ObsConfig(sample_interval=self.obs_sample)
         return run_one(
             self.arch,
             self.resolve_factory(),
@@ -174,6 +191,7 @@ class Job:
             mem_config=config,
             cpu_params=self.cpu_params,
             max_cycles=self.max_cycles,
+            obs=obs,
         )
 
 
@@ -337,6 +355,32 @@ class RunReport:
 
     def to_dict(self) -> dict:
         """JSON-serializable telemetry (perf baselines, dashboards)."""
+        per_job = []
+        for outcome in self.outcomes:
+            entry = {
+                "label": outcome.job.label(),
+                "wall_seconds": outcome.wall_seconds,
+                "cached": outcome.cached,
+                "cycles": outcome.result.stats.cycles,
+                # Simulation speed; None for cache hits (no host
+                # time was spent simulating this run).
+                "cycles_per_host_second": (
+                    outcome.result.stats.cycles / outcome.wall_seconds
+                    if outcome.wall_seconds > 0
+                    else None
+                ),
+            }
+            obs = outcome.result.extras.get("obs")
+            if obs:
+                # Sampled-utilization rollup for observed jobs (mean /
+                # max per series; the series themselves stay in the
+                # result's extras).
+                entry["obs"] = {
+                    "sample_interval": obs.get("sample_interval"),
+                    "samples": obs.get("samples"),
+                    "utilization": obs.get("utilization", {}),
+                }
+            per_job.append(entry)
         return {
             "jobs": len(self.outcomes),
             "workers": self.workers,
@@ -345,22 +389,7 @@ class RunReport:
             "utilization": self.utilization(),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
-            "per_job": [
-                {
-                    "label": outcome.job.label(),
-                    "wall_seconds": outcome.wall_seconds,
-                    "cached": outcome.cached,
-                    "cycles": outcome.result.stats.cycles,
-                    # Simulation speed; None for cache hits (no host
-                    # time was spent simulating this run).
-                    "cycles_per_host_second": (
-                        outcome.result.stats.cycles / outcome.wall_seconds
-                        if outcome.wall_seconds > 0
-                        else None
-                    ),
-                }
-                for outcome in self.outcomes
-            ],
+            "per_job": per_job,
         }
 
 

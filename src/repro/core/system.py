@@ -17,6 +17,7 @@ from repro.cpu.mxs import MxsCpu
 from repro.errors import ConfigError, DeadlockError
 from repro.mem.functional import FunctionalMemory
 from repro.mem.hierarchy import MemConfig
+from repro.obs import ObsConfig, Observation
 from repro.sim.engine import Engine
 from repro.sim.stats import SystemStats
 from repro.workloads.base import Workload
@@ -38,6 +39,7 @@ class System:
         cpu_params: CpuParams | None = None,
         max_cycles: int | None = None,
         deadlock_horizon: int = DEFAULT_DEADLOCK_HORIZON,
+        obs: "ObsConfig | None" = None,
     ) -> None:
         self.arch = arch
         self.workload = workload
@@ -48,6 +50,13 @@ class System:
                 f"memory config has {config.n_cpus} CPUs but the workload "
                 f"was built for {workload.n_cpus}"
             )
+        if obs is not None and config.l1_fast_path:
+            # Observability rides the general access path only; the
+            # L1-hit fast lane stays untouched (and therefore fast) for
+            # ordinary runs, and test_fast_path.py proves lane-off runs
+            # are bit-identical, so disabling it here keeps obs-on
+            # statistics equal to obs-off statistics.
+            config = config.with_overrides(l1_fast_path=False)
         if cpu_model == "mipsy":
             # Section 4: Mipsy deliberately models the shared L1
             # optimistically (1-cycle hit, no bank contention).
@@ -86,6 +95,11 @@ class System:
                 )
             self.cpus.append(cpu)
 
+        #: attached Observation, or None when observability is off
+        self.obs = Observation(obs) if obs is not None else None
+        if self.obs is not None:
+            self.obs.attach(self)
+
     # ------------------------------------------------------------------
 
     def run(self) -> SystemStats:
@@ -106,6 +120,9 @@ class System:
         next_watchdog = watchdog_stride
         huge = 1 << 62
         max_cycles = self.max_cycles if self.max_cycles is not None else huge
+        obs = self.obs
+        sampler = obs.sampler if obs is not None else None
+        next_sample = sampler.next_boundary if sampler is not None else huge
 
         while active:
             # Truncation is checked at the top so a max_cycles landing
@@ -115,6 +132,11 @@ class System:
             if cycle >= max_cycles:
                 self.truncated = True
                 break
+
+            if obs is not None:
+                obs.now = cycle
+                if cycle >= next_sample:
+                    next_sample = sampler.sample_until(cycle)
 
             if equeue and equeue[0].time <= cycle:
                 engine.run_until(cycle)
@@ -183,6 +205,8 @@ class System:
                 cpu.finish(end_cycle)
         self.stats.cycles = end_cycle
         self.stats.instructions = sum(cpu.instructions for cpu in self.cpus)
+        if obs is not None:
+            obs.finalize(end_cycle, self.stats.instructions)
         if not self.truncated:
             self.workload.validate()
         return self.stats

@@ -43,6 +43,7 @@ class BaseCpu(ABC):
         "_fast_lane",
         "_ifetch_pending",
         "_busy_pending",
+        "_obs",
     )
 
     def __init__(
@@ -72,6 +73,13 @@ class BaseCpu(ABC):
         # stats objects by flush_stats() at stall/run boundaries.
         self._ifetch_pending = 0
         self._busy_pending = 0
+        # Attached Observation (None = no instrumentation anywhere).
+        self._obs = None
+
+    def attach_obs(self, obs) -> None:
+        """Attach an :class:`~repro.obs.observe.Observation`; the
+        models' stall branches emit miss/stall events through it."""
+        self._obs = obs
 
     # ------------------------------------------------------------------
     # thread-program protocol

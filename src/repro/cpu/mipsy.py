@@ -77,6 +77,10 @@ class MipsyCpu(BaseCpu):
                 if fetch.done - cycle > 1:
                     self.breakdown.istall += fetch.done - cycle - 1
                     exec_start = fetch.done - 1
+                    if self._obs is not None:
+                        self._obs.record_ifetch_miss(
+                            cpu_id, cycle, fetch.done - cycle
+                        )
 
         self._busy_pending += 1
         self.instructions += 1
@@ -141,5 +145,7 @@ class MipsyCpu(BaseCpu):
                 breakdown.storebuf += stall
             else:
                 breakdown.l1d += stall
+            if self._obs is not None:
+                self._obs.record_stall(cpu_id, level, exec_start, stall)
         self.apply_memory_semantics(inst, result)
         self.resume = result.done

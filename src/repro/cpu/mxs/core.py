@@ -316,6 +316,10 @@ class MxsCpu(BaseCpu):
                     return False
                 self.mshrs.allocate(line, result.done)
                 record.dcache_miss = True
+                if self._obs is not None:
+                    self._obs.record_stall(
+                        self.cpu_id, result.level, cycle, result.done - cycle
+                    )
             elif result.level == StallLevel.L1:
                 record.extra_hit_latency = True
             record.issued = True
@@ -414,6 +418,10 @@ class MxsCpu(BaseCpu):
                         self._pending_inst = inst
                         self._fetch_unblock = result.done
                         self._fetch_reason = _BLOCK_ICACHE
+                        if self._obs is not None:
+                            self._obs.record_ifetch_miss(
+                                self.cpu_id, cycle, result.done - cycle
+                            )
                         return fetched
             self._pending_inst = None
             record = _Record(self._seq, inst)

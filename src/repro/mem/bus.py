@@ -39,29 +39,43 @@ class SnoopyBus:
         self.c2c_transfers = 0
         self.upgrades = 0
         self.writebacks = 0
+        #: attached Observation; transaction events are emitted when set
+        self.obs = None
+
+    def _record(self, name: str, start: int, occupancy: int) -> None:
+        """Emit one bus-track timeline event (observability on only)."""
+        self.obs.emit("bus", name, "bus", start, occupancy)
 
     def memory_read(self, at: int) -> int:
         """A read serviced by main memory; returns data-ready cycle."""
         self.mem_reads += 1
         start = self.resource.acquire(at, self.timing.mem_occupancy)
+        if self.obs is not None:
+            self._record("read", start, self.timing.mem_occupancy)
         return start + self.timing.mem_latency
 
     def cache_to_cache(self, at: int) -> int:
         """A read serviced by another processor's cache."""
         self.c2c_transfers += 1
         start = self.resource.acquire(at, self.timing.c2c_occupancy)
+        if self.obs is not None:
+            self._record("c2c", start, self.timing.c2c_occupancy)
         return start + self.timing.c2c_latency
 
     def upgrade(self, at: int) -> int:
         """An invalidate-only transaction (write hit on a shared line)."""
         self.upgrades += 1
         start = self.resource.acquire(at, self.timing.upgrade_occupancy)
+        if self.obs is not None:
+            self._record("upgrade", start, self.timing.upgrade_occupancy)
         return start + self.timing.upgrade_latency
 
     def write_back(self, at: int) -> int:
         """A posted writeback of a dirty victim; returns bus-free cycle."""
         self.writebacks += 1
         start = self.resource.acquire(at, self.timing.writeback_occupancy)
+        if self.obs is not None:
+            self._record("writeback", start, self.timing.writeback_occupancy)
         return start + self.timing.writeback_occupancy
 
     @property

@@ -33,7 +33,10 @@ class Crossbar:
     port even when they hit different banks).
     """
 
-    __slots__ = ("name", "latency", "occupancy", "banks", "ports", "wait_cycles")
+    __slots__ = (
+        "name", "latency", "occupancy", "banks", "ports", "wait_cycles",
+        "obs",
+    )
 
     def __init__(
         self,
@@ -50,6 +53,8 @@ class Crossbar:
         self.banks = BankedResource(name, n_banks, line_size)
         self.ports = [Resource(f"{name}.port{i}") for i in range(n_ports)]
         self.wait_cycles = 0
+        #: attached Observation; conflict events are emitted when set
+        self.obs = None
 
     def access(
         self,
@@ -78,8 +83,62 @@ class Crossbar:
             start = bank.next_free
         port_res.acquire(start, hold)
         bank.acquire(start, hold)
-        self.wait_cycles += start - at
-        return start + self.latency, start - at
+        wait = start - at
+        self.wait_cycles += wait
+        if self.obs is not None and wait > 0:
+            self.obs.emit(
+                f"{self.name}[{self.banks.bank_index(addr)}]",
+                "conflict",
+                "xbar",
+                at,
+                wait,
+                {"port": port},
+            )
+        return start + self.latency, wait
+
+    def probe(self, addr: int, at: int, port: int = 0) -> int:
+        """Record the contention a request *would* see, without queueing.
+
+        The optimistic shared-L1 path completes hits in one cycle by
+        fiat, so a shadow crossbar driven through :meth:`access` would
+        queue unboundedly (its grant times never slow the CPUs down).
+        This variant counts the collision but starts service at ``at``
+        regardless — per-bank busy becomes *demand* utilization (it may
+        exceed 1.0 when oversubscribed) and the conflict wait per
+        request stays bounded by the occupancy.
+
+        Returns the conflict wait observed.
+        """
+        hold = self.occupancy
+        port_res = self.ports[port]
+        bank = self.banks.bank_of(addr)
+        busy_until = port_res.next_free
+        if bank.next_free > busy_until:
+            busy_until = bank.next_free
+        wait = busy_until - at
+        if wait > 0:
+            self.wait_cycles += wait
+            if self.obs is not None:
+                self.obs.emit(
+                    f"{self.name}[{self.banks.bank_index(addr)}]",
+                    "conflict",
+                    "xbar",
+                    at,
+                    wait,
+                    {"port": port},
+                )
+        else:
+            wait = 0
+        end = at + hold
+        if port_res.next_free < end:
+            port_res.next_free = end
+        port_res.busy_cycles += hold
+        port_res.requests += 1
+        if bank.next_free < end:
+            bank.next_free = end
+        bank.busy_cycles += hold
+        bank.requests += 1
+        return wait
 
     def bank_index(self, addr: int) -> int:
         """Index of the bank serving ``addr``."""

@@ -196,6 +196,9 @@ class MemorySystem(ABC):
     def __init__(self, config: MemConfig, stats: SystemStats) -> None:
         self.config = config
         self.stats = stats
+        #: attached :class:`~repro.obs.observe.Observation`, or ``None``
+        #: (the default — no hook anywhere fires without it)
+        self.obs = None
 
     @abstractmethod
     def access(
@@ -215,8 +218,10 @@ class MemorySystem(ABC):
     # Implementations must be behaviorally invisible: with the lane
     # disabled (``config.l1_fast_path = False``) every statistic and
     # cycle count must come out identical. The defaults below decline
-    # every access, so wrappers such as the trace recorder see the full
-    # stream without overriding anything.
+    # every access, so a wrapper that overrides nothing still sees the
+    # full stream through access() — at the cost of silently disabling
+    # the lane; wrappers that care about speed (the trace recorder)
+    # forward the fast methods and record the hits they resolve.
 
     def fast_load(self, cpu: int, addr: int, at: int) -> int:
         """L1 hit fast path for a data load; -1 means take ``access``."""
@@ -252,3 +257,24 @@ class MemorySystem(ABC):
         went, not just how much.
         """
         return {}
+
+    # ------------------------------------------------------------------
+    # observability (opt-in; see repro.obs)
+
+    def attach_obs(self, obs) -> None:
+        """Attach an :class:`~repro.obs.observe.Observation`.
+
+        Subclasses override to wire their interconnects (crossbar, bus)
+        and to build any obs-only shadow resources, then call this base
+        to store the reference.
+        """
+        self.obs = obs
+
+    def obs_probes(self) -> list[tuple]:
+        """Sampler probes as ``(kind, name, fn)`` tuples.
+
+        ``kind`` is ``"rate"`` (cumulative counter, sampled as
+        delta-per-cycle) or ``"gauge"`` (instantaneous value). Called
+        once, after :meth:`attach_obs`. The default exposes nothing.
+        """
+        return []

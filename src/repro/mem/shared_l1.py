@@ -65,6 +65,60 @@ class SharedL1System(MemorySystem):
             WriteBuffer(config.write_buffer_depth)
             for _ in range(config.n_cpus)
         ]
+        # Obs-only shadow crossbar (see attach_obs): measures the bank
+        # contention the optimistic Mipsy timing deliberately ignores,
+        # without feeding back into any completion time.
+        self._shadow_xbar: Crossbar | None = None
+
+    def attach_obs(self, obs) -> None:
+        """Wire the crossbar for conflict events.
+
+        Under ``shared_l1_optimistic`` (the Mipsy model) the real
+        crossbar is never consulted — hits complete in one cycle by
+        fiat — so a *shadow* crossbar with the paper's real geometry is
+        driven alongside the optimistic path. Its grant/conflict/bank
+        counters show the contention the optimism hides; simulated
+        timing and statistics are untouched (the shadow's completion
+        times are discarded).
+        """
+        super().attach_obs(obs)
+        if self.config.shared_l1_optimistic:
+            config = self.config
+            self._shadow_xbar = Crossbar(
+                "l1.xbar",
+                config.n_l1_banks,
+                config.line_size,
+                latency=config.shared_l1_latency,
+                occupancy=config.l1_occupancy,
+                n_ports=config.n_cpus,
+            )
+            self._shadow_xbar.obs = obs
+        else:
+            self.crossbar.obs = obs
+
+    def obs_probes(self) -> list[tuple]:
+        """Crossbar grants/conflicts, per-bank busy, L2 port, memory
+        and write-buffer fill (see :meth:`MemorySystem.obs_probes`)."""
+        xbar = (
+            self._shadow_xbar
+            if self._shadow_xbar is not None
+            else self.crossbar
+        )
+        probes: list[tuple] = [
+            ("rate", "l1.xbar.grants", lambda x=xbar: x.requests),
+            ("rate", "l1.xbar.conflict", lambda x=xbar: x.wait_cycles),
+            ("rate", "l2.port.busy", lambda: self.l2_port.busy_cycles),
+            ("rate", "mem.busy", lambda: self.mem.banks.busy_cycles),
+        ]
+        for index, bank in enumerate(xbar.banks.banks):
+            probes.append(
+                ("rate", f"l1.bank{index}.busy", lambda b=bank: b.busy_cycles)
+            )
+        for index, buffer in enumerate(self._store_buffers):
+            probes.append(
+                ("gauge", f"cpu{index}.wb", lambda b=buffer: b.occupancy)
+            )
+        return probes
 
     def drain(self, at: int) -> int:
         """Completion time of everything still in the store buffers."""
@@ -194,6 +248,10 @@ class SharedL1System(MemorySystem):
         """The shared-L1 access pipeline common to loads and stores."""
         if self.config.shared_l1_optimistic:
             hit_done = at + 1
+            if self._shadow_xbar is not None:
+                # Observability-only: record the collision the real
+                # crossbar would have seen; timing is untouched.
+                self._shadow_xbar.probe(addr, at, port=cpu)
         else:
             ready, _wait = self.crossbar.access(addr, at, port=cpu)
             hit_done = ready

@@ -69,6 +69,33 @@ class SharedL2System(MemorySystem):
             WriteBuffer(config.write_buffer_depth) for _ in range(n_cpus)
         ]
 
+    def attach_obs(self, obs) -> None:
+        """Wire the L2 crossbar for conflict events."""
+        super().attach_obs(obs)
+        self.crossbar.obs = obs
+
+    def obs_probes(self) -> list[tuple]:
+        """Crossbar grants/conflicts, per-bank and per-port busy,
+        memory busy and write-buffer fill."""
+        probes: list[tuple] = [
+            ("rate", "l2.xbar.grants", lambda: self.crossbar.requests),
+            ("rate", "l2.xbar.conflict", lambda: self.crossbar.wait_cycles),
+            ("rate", "mem.busy", lambda: self.mem.banks.busy_cycles),
+        ]
+        for index, bank in enumerate(self.crossbar.banks.banks):
+            probes.append(
+                ("rate", f"l2.bank{index}.busy", lambda b=bank: b.busy_cycles)
+            )
+        for index, port in enumerate(self.crossbar.ports):
+            probes.append(
+                ("rate", f"l2.port{index}.busy", lambda p=port: p.busy_cycles)
+            )
+        for index, buffer in enumerate(self._write_buffers):
+            probes.append(
+                ("gauge", f"cpu{index}.wb", lambda b=buffer: b.occupancy)
+            )
+        return probes
+
     # ------------------------------------------------------------------
 
     def access(
@@ -181,11 +208,19 @@ class SharedL2System(MemorySystem):
                     continue
                 self._l1d_stats[other].updates_received += 1
                 self.crossbar.access(addr, at, port=cpu, occupancy=1)
+                if self.obs is not None:
+                    self.obs.record_coherence(
+                        other, "update", at, {"by": cpu}
+                    )
         else:
             victims = self.directory.invalidate_for_write(line_addr, cpu)
             for other in victims:
                 if self.l1d[other].invalidate(addr, coherence=True) is not None:
                     self._l1d_stats[other].invalidations_received += 1
+                    if self.obs is not None:
+                        self.obs.record_coherence(
+                            other, "inval", at, {"by": cpu}
+                        )
 
         if not posted:
             return AccessResult(drain_done, StallLevel.L2, visible=drain_done)

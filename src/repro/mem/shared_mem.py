@@ -59,6 +59,33 @@ class SharedMemorySystem(MemorySystem):
             WriteBuffer(config.write_buffer_depth) for _ in range(n_cpus)
         ]
 
+    def attach_obs(self, obs) -> None:
+        """Wire the snoopy bus for per-transaction events."""
+        super().attach_obs(obs)
+        self.bus.obs = obs
+
+    def obs_probes(self) -> list[tuple]:
+        """Bus busy/transaction rates, private L2 port busy and
+        write-buffer fill."""
+        probes: list[tuple] = [
+            ("rate", "bus.busy", lambda: self.bus.resource.busy_cycles),
+            ("rate", "bus.transactions", lambda: self.bus.transactions),
+            ("rate", "bus.wait", lambda: self.bus.resource.wait_cycles),
+        ]
+        for index, port in enumerate(self.l2_ports):
+            probes.append(
+                (
+                    "rate",
+                    f"cpu{index}.l2port.busy",
+                    lambda p=port: p.busy_cycles,
+                )
+            )
+        for index, buffer in enumerate(self._store_buffers):
+            probes.append(
+                ("gauge", f"cpu{index}.wb", lambda b=buffer: b.occupancy)
+            )
+        return probes
+
     def drain(self, at: int) -> int:
         """Completion time of everything still in the store buffers."""
         latest = at
@@ -247,6 +274,8 @@ class SharedMemorySystem(MemorySystem):
             # SHARED: invalidate-only bus transaction.
             done = self.bus.upgrade(at + 1)
             self.snoop.upgrade(cpu, addr)
+            if self.obs is not None:
+                self.obs.record_coherence(cpu, "upgrade", at + 1)
             line.state = LineState.MODIFIED
             self._set_l2_state(cpu, addr, LineState.MODIFIED)
             return done, StallLevel.MEM
@@ -261,6 +290,10 @@ class SharedMemorySystem(MemorySystem):
             if l2_line.state == LineState.SHARED:
                 done = self.bus.upgrade(start + config.l2_latency)
                 self.snoop.upgrade(cpu, addr)
+                if self.obs is not None:
+                    self.obs.record_coherence(
+                        cpu, "upgrade", start + config.l2_latency
+                    )
                 level = StallLevel.MEM
             else:
                 done = start + config.l2_latency
@@ -271,6 +304,10 @@ class SharedMemorySystem(MemorySystem):
             count_miss(self._l2_stats[cpu], l2_miss, is_store=True)
             bus_at = start + config.l2_latency
             source = self.snoop.snoop_write(cpu, addr)
+            if self.obs is not None:
+                self.obs.record_coherence(
+                    cpu, "rfo", bus_at, {"source": source}
+                )
             if source == "c2c":
                 done = self.bus.cache_to_cache(bus_at)
                 level = StallLevel.C2C

@@ -1,0 +1,56 @@
+"""Low-overhead, opt-in observability for the simulator.
+
+The subsystem has three collectors behind one switch
+(:class:`~repro.obs.config.ObsConfig`):
+
+* a metric registry (counters, gauges, log2 histograms) —
+  :mod:`repro.obs.registry`;
+* an interval **sampler** that snapshots per-component utilization
+  (crossbar grants/conflicts, bank occupancy, bus busy fraction,
+  write-buffer and MSHR fill, per-CPU stall mix) into time series —
+  :mod:`repro.obs.sampler`;
+* an **event timeline** exported as Chrome/Perfetto trace JSON with
+  one track per CPU/bank/bus — :mod:`repro.obs.timeline`.
+
+The contract: with observability off (the default everywhere), every
+fast lane and hot loop is untouched and results are bit-identical;
+with it on, statistics are still bit-identical (the system routes
+accesses through the general paths, which the fast-path differential
+suite already proves equivalent) and only wall time pays. See
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.config import (
+    DEFAULT_MAX_EVENTS,
+    DEFAULT_SAMPLE_INTERVAL,
+    ObsConfig,
+)
+from repro.obs.observe import STALL_EVENT, Observation
+from repro.obs.registry import Counter, Gauge, Histogram, Registry
+from repro.obs.report import (
+    format_phase_table,
+    format_rollup,
+    phase_means,
+    run_observed,
+)
+from repro.obs.sampler import UtilizationSampler
+from repro.obs.timeline import EventTimeline, validate_trace
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "ObsConfig",
+    "Observation",
+    "STALL_EVENT",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "UtilizationSampler",
+    "EventTimeline",
+    "validate_trace",
+    "format_phase_table",
+    "format_rollup",
+    "phase_means",
+    "run_observed",
+]

@@ -1,0 +1,256 @@
+"""The :class:`Observation` object — one run's worth of telemetry.
+
+A ``System`` built with an :class:`~repro.obs.config.ObsConfig` owns
+exactly one ``Observation`` and hands it to every instrumented
+component (memory system, interconnects, CPUs, sync primitives). The
+components keep a plain ``obs`` / ``_obs`` attribute that is ``None``
+by default; every hook is a single ``is not None`` check on an
+already-rare path, so runs without observability execute the same
+instructions they always did.
+
+What it aggregates:
+
+* ``registry`` — counters/gauges/histograms
+  (:mod:`repro.obs.registry`);
+* ``sampler`` — interval utilization series
+  (:mod:`repro.obs.sampler`), fed by probes the memory system and CPUs
+  declare;
+* ``timeline`` — Chrome/Perfetto events (:mod:`repro.obs.timeline`);
+* ``run_log`` — structured start/end records for the run.
+
+``now`` is maintained by the system run loop so deep components
+(locks, barriers) can timestamp events without threading a cycle
+argument through every generator.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.mem.types import StallLevel
+from repro.obs.config import ObsConfig
+from repro.obs.registry import Registry
+from repro.obs.sampler import UtilizationSampler
+from repro.obs.timeline import EventTimeline
+
+#: Timeline event name per serving level of a data-access stall.
+STALL_EVENT = {
+    StallLevel.NONE: "stall.other",
+    StallLevel.L1: "stall.l1",
+    StallLevel.L2: "miss.l2",
+    StallLevel.MEM: "miss.mem",
+    StallLevel.C2C: "miss.c2c",
+    StallLevel.STOREBUF: "stall.storebuf",
+}
+
+
+class Observation:
+    """Telemetry hub for one simulation run."""
+
+    def __init__(self, config: ObsConfig) -> None:
+        self.config = config
+        self.registry = Registry()
+        self.sampler = (
+            UtilizationSampler(config.sample_interval)
+            if config.sample_interval > 0
+            else None
+        )
+        self.timeline = (
+            EventTimeline(config.max_events) if config.events else None
+        )
+        #: current simulated cycle, maintained by the run loop
+        self.now = 0
+        self.run_log: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # wiring
+
+    def attach(self, system) -> None:
+        """Hook this observation into every component of ``system``.
+
+        Order matters: the memory system attaches first (it may build
+        obs-only shadow resources), then declares its sampler probes;
+        CPUs, the engine and the workload's sync primitives follow.
+        """
+        system.memory.attach_obs(self)
+        sampler = self.sampler
+        if sampler is not None:
+            for kind, name, fn in system.memory.obs_probes():
+                if kind == "gauge":
+                    sampler.add_gauge(name, fn)
+                else:
+                    sampler.add_rate(name, fn)
+        for cpu in system.cpus:
+            cpu.attach_obs(self)
+            if sampler is not None:
+                self._add_cpu_probes(cpu)
+        if sampler is not None:
+            engine = system.engine
+            sampler.add_rate("engine.events", lambda e=engine: e.scheduled)
+        self._attach_sync(system.workload)
+        self.log(
+            "run.start",
+            arch=system.arch,
+            workload=system.workload.name,
+            cpu_model=system.cpu_model,
+            n_cpus=system.config.n_cpus,
+        )
+
+    def _add_cpu_probes(self, cpu) -> None:
+        """Per-CPU sampler probes: instruction rate plus the stall mix
+        (Mipsy breakdowns) or MSHR fill and graduation rate (MXS)."""
+        sampler = self.sampler
+        cid = cpu.cpu_id
+        sampler.add_rate(
+            f"cpu{cid}.instructions", lambda c=cpu: c.instructions
+        )
+        if hasattr(cpu, "mshrs"):
+            sampler.add_gauge(
+                f"cpu{cid}.mshr", lambda c=cpu: c.mshrs.outstanding
+            )
+            sampler.add_rate(
+                f"cpu{cid}.graduated", lambda c=cpu: c.mxs.graduated
+            )
+            return
+        # The busy counter batches in a plain slot between stalls; the
+        # probe folds the pending amount in so samples never lag.
+        sampler.add_rate(
+            f"cpu{cid}.busy",
+            lambda c=cpu: c.breakdown.busy + c._busy_pending,
+        )
+        breakdown = cpu.breakdown
+        for field in ("istall", "l1d", "l2", "mem", "c2c", "storebuf"):
+            sampler.add_rate(
+                f"cpu{cid}.stall.{field}",
+                lambda b=breakdown, f=field: getattr(b, f),
+            )
+
+    def _attach_sync(self, workload) -> None:
+        """Set ``obs`` on every lock/barrier the workload holds (same
+        two-level traversal as ``Workload.sync_report``)."""
+        from repro.sync import Barrier, SpinLock
+
+        seen: set[int] = set()
+
+        def visit(obj, depth: int) -> None:
+            if id(obj) in seen or depth > 2:
+                return
+            seen.add(id(obj))
+            if isinstance(obj, SpinLock):
+                obj.obs = self
+            elif isinstance(obj, Barrier):
+                obj.obs = self
+                visit(obj.lock, depth)
+            elif hasattr(obj, "__dict__") and depth < 2:
+                for value in vars(obj).values():
+                    if isinstance(value, (list, tuple)):
+                        for item in value:
+                            visit(item, depth + 1)
+                    else:
+                        visit(value, depth + 1)
+
+        for value in vars(workload).values():
+            if isinstance(value, (list, tuple)):
+                for item in value:
+                    visit(item, 1)
+            else:
+                visit(value, 1)
+
+    # ------------------------------------------------------------------
+    # event recording (callers guard with ``obs is not None``)
+
+    def emit(
+        self,
+        track: str,
+        name: str,
+        cat: str,
+        ts: int,
+        dur: int = 1,
+        args: dict | None = None,
+    ) -> None:
+        """Forward one event to the timeline (no-op when events are off)."""
+        if self.timeline is not None:
+            self.timeline.emit(track, name, cat, ts, dur, args)
+
+    def record_stall(
+        self, cpu: int, level: StallLevel, ts: int, dur: int
+    ) -> None:
+        """A data-access stall on ``cpu``: timeline event on the CPU's
+        track plus a latency histogram per serving level."""
+        name = STALL_EVENT.get(level, "stall.other")
+        self.registry.histogram(name).observe(dur)
+        if self.timeline is not None:
+            self.timeline.emit(f"cpu{cpu}", name, "mem", ts, dur)
+
+    def record_ifetch_miss(self, cpu: int, ts: int, dur: int) -> None:
+        """An instruction-fetch miss on ``cpu``."""
+        self.registry.histogram("miss.ifetch").observe(dur)
+        if self.timeline is not None:
+            self.timeline.emit(f"cpu{cpu}", "miss.ifetch", "mem", ts, dur)
+
+    def record_coherence(
+        self, cpu: int, name: str, ts: int, args: dict | None = None
+    ) -> None:
+        """A coherence action (invalidate/update/upgrade/rfo) affecting
+        ``cpu``'s cache."""
+        self.registry.counter(f"coherence.{name}").inc()
+        if self.timeline is not None:
+            self.timeline.emit(f"cpu{cpu}", name, "coherence", ts, 1, args)
+
+    def record_sync_wait(
+        self, cpu: int, name: str, ts: int, dur: int
+    ) -> None:
+        """A lock/barrier wait episode on ``cpu``."""
+        self.registry.histogram("sync.wait").observe(dur)
+        if self.timeline is not None:
+            self.timeline.emit(f"cpu{cpu}", name, "sync", ts, dur)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def log(self, event: str, **fields) -> None:
+        """Append one structured record to the run log."""
+        record = {"ts": self.now, "event": event}
+        record.update(fields)
+        self.run_log.append(record)
+
+    def finalize(self, end_cycle: int, instructions: int = 0) -> None:
+        """Close out the run: top the sampler up to ``end_cycle`` so
+        series lengths equal ``end_cycle // interval``, and log the end
+        record."""
+        self.now = end_cycle
+        if self.sampler is not None:
+            self.sampler.finalize(end_cycle)
+        self.log("run.end", cycles=end_cycle, instructions=instructions)
+
+    def rollup(self) -> dict:
+        """JSON-serializable summary carried in result extras and
+        ``bench_runner.json`` (mean/max per sampled series, metric
+        snapshot, event counts, run log)."""
+        out = {
+            "sample_interval": (
+                self.sampler.interval if self.sampler is not None else 0
+            ),
+            "samples": (
+                self.sampler.n_samples if self.sampler is not None else 0
+            ),
+            "utilization": (
+                self.sampler.rollup() if self.sampler is not None else {}
+            ),
+            "metrics": self.registry.snapshot(),
+            "log": list(self.run_log),
+        }
+        if self.timeline is not None:
+            out["events"] = {
+                "emitted": self.timeline.emitted,
+                "dropped": self.timeline.dropped,
+                "tracks": len(self.timeline._tracks),
+            }
+        return out
+
+    def write_events(self, path: str | Path, label: str = "repro") -> int:
+        """Write the timeline as Chrome trace JSON; returns the number
+        of events written (0 when the timeline is off)."""
+        if self.timeline is None:
+            return 0
+        return self.timeline.write(path, label)

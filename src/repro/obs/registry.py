@@ -1,0 +1,145 @@
+"""Cheap metric primitives: counters, gauges, log2 histograms.
+
+These are deliberately minimal — an ``inc`` is one attribute add, an
+``observe`` is a ``bit_length`` plus a list index — because they may be
+called from instrumented stall paths. They are still only ever touched
+when an :class:`~repro.obs.observe.Observation` is attached; the
+obs-off hot loops never see them.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the count."""
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+class Histogram:
+    """Power-of-two bucketed distribution of non-negative integers.
+
+    Bucket ``i`` counts observations with ``bit_length() == i``; bucket
+    0 holds zeros. Observations beyond the last bucket clamp into it,
+    so the tail is never lost, just coarse.
+    """
+
+    __slots__ = ("name", "buckets", "count", "total")
+
+    #: number of log2 buckets (values up to ~2^30 resolve exactly)
+    N_BUCKETS = 32
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets = [0] * self.N_BUCKETS
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value: int) -> None:
+        """Record one observation (negative values clamp to zero)."""
+        if value < 0:
+            value = 0
+        index = value.bit_length()
+        if index >= self.N_BUCKETS:
+            index = self.N_BUCKETS - 1
+        self.buckets[index] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def nonzero_buckets(self) -> dict[str, int]:
+        """Bucket counts keyed by a human-readable range label.
+
+        Bucket ``i > 0`` covers values in ``[2**(i-1), 2**i - 1]``.
+        """
+        out: dict[str, int] = {}
+        for index, count in enumerate(self.buckets):
+            if not count:
+                continue
+            if index == 0:
+                out["0"] = count
+            else:
+                out[f"{1 << (index - 1)}-{(1 << index) - 1}"] = count
+        return out
+
+
+class Registry:
+    """Named metric store with get-or-create accessors."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = Counter(name)
+            self.counters[name] = metric
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = Gauge(name)
+            self.gauges[name] = metric
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = Histogram(name)
+            self.histograms[name] = metric
+        return metric
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every metric (sorted by name)."""
+        return {
+            "counters": {
+                name: self.counters[name].value
+                for name in sorted(self.counters)
+            },
+            "gauges": {
+                name: self.gauges[name].value
+                for name in sorted(self.gauges)
+            },
+            "histograms": {
+                name: {
+                    "count": hist.count,
+                    "mean": hist.mean,
+                    "buckets": hist.nonzero_buckets(),
+                }
+                for name, hist in sorted(self.histograms.items())
+            },
+        }

@@ -74,6 +74,11 @@ class Engine:
     def __len__(self) -> int:
         return len(self._queue) - self._cancelled
 
+    @property
+    def scheduled(self) -> int:
+        """Total events ever scheduled (cumulative; observability probe)."""
+        return self._seq
+
     def schedule(
         self,
         time: int,

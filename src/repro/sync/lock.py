@@ -34,17 +34,24 @@ class SpinLock:
         self.region = code.region(f"{name}.acquire", _ACQUIRE_SLOTS)
         self.acquires = 0
         self.contended_retries = 0
+        #: attached Observation (set by Observation._attach_sync);
+        #: contended acquires emit sync-wait events through it
+        self.obs = None
 
     def acquire(self, ctx: ThreadContext):
         """Spin until the lock is claimed (use with ``yield from``)."""
         em = ctx.emitter(self.region)
         em.jump(0)
         top = em.label()
+        obs = self.obs
+        start = obs.now if obs is not None else 0
+        contended = False
         while True:
             value = yield em.ll(self.addr)
             if value:
                 # Held: spin on the cached copy.
                 self.contended_retries += 1
+                contended = True
                 yield em.branch(True, to=top)
                 continue
             yield em.branch(False)
@@ -52,9 +59,18 @@ class SpinLock:
             if claimed:
                 yield em.branch(False)
                 self.acquires += 1
+                if obs is not None and contended:
+                    wait = obs.now - start
+                    obs.record_sync_wait(
+                        ctx.cpu_id,
+                        f"lock:{self.name}",
+                        start,
+                        wait if wait > 0 else 1,
+                    )
                 return
             # Lost the SC race.
             self.contended_retries += 1
+            contended = True
             yield em.branch(True, to=top)
 
     def release(self, ctx: ThreadContext):

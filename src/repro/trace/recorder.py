@@ -41,6 +41,41 @@ class TraceRecorder(MemorySystem):
             self.records.append(TraceRecord(cpu, kind, addr, pc))
         return self.inner.access(cpu, kind, addr, at)
 
+    # The base-class fast_* methods decline (-1), which would silently
+    # disable the wrapped system's L1-hit fast lane for the whole run —
+    # still correct (the lane declines into access()) but slow. Forward
+    # the lane and record the references it resolves instead; declines
+    # are *not* recorded here because the CPU retries them via access().
+
+    def fast_load(self, cpu: int, addr: int, at: int) -> int:
+        """Forward the load fast lane, recording resolved hits."""
+        done = self.inner.fast_load(cpu, addr, at)
+        if done >= 0 and (
+            self._limit is None or len(self.records) < self._limit
+        ):
+            self.records.append(TraceRecord(cpu, AccessKind.LOAD, addr, 0))
+        return done
+
+    def fast_ifetch(self, cpu: int, addr: int, at: int) -> int:
+        """Forward the I-fetch fast lane, recording resolved hits."""
+        done = self.inner.fast_ifetch(cpu, addr, at)
+        if done >= 0 and (
+            self._limit is None or len(self.records) < self._limit
+        ):
+            self.records.append(
+                TraceRecord(cpu, AccessKind.IFETCH, addr, addr)
+            )
+        return done
+
+    def fast_store(self, cpu: int, addr: int, at: int) -> int:
+        """Forward the posted-store fast lane, recording resolved hits."""
+        done = self.inner.fast_store(cpu, addr, at)
+        if done >= 0 and (
+            self._limit is None or len(self.records) < self._limit
+        ):
+            self.records.append(TraceRecord(cpu, AccessKind.STORE, addr, 0))
+        return done
+
     def drain(self, at: int) -> int:
         """Forwarded to the wrapped memory system."""
         return self.inner.drain(at)
@@ -48,6 +83,14 @@ class TraceRecorder(MemorySystem):
     def resource_report(self, cycles: int) -> dict[str, float]:
         """Forwarded to the wrapped memory system."""
         return self.inner.resource_report(cycles)
+
+    def attach_obs(self, obs) -> None:
+        """Forwarded to the wrapped memory system."""
+        self.inner.attach_obs(obs)
+
+    def obs_probes(self) -> list[tuple]:
+        """Forwarded to the wrapped memory system."""
+        return self.inner.obs_probes()
 
     # ------------------------------------------------------------------
 

@@ -8,7 +8,9 @@ from repro.core.configs import test_config as make_test_config
 from repro.core.system import System
 from repro.errors import ReproError, WorkloadError
 from repro.mem.functional import FunctionalMemory
-from repro.mem.types import AccessKind
+from repro.mem.hierarchy import MemorySystem
+from repro.mem.types import AccessKind, AccessResult, StallLevel
+from repro.sim.stats import SystemStats
 from repro.trace import (
     TraceRecord,
     TraceRecorder,
@@ -167,3 +169,87 @@ def test_replay_uses_recorded_fetch_pcs(tmp_path):
     instructions = list(workload.program(0))
     assert len(instructions) == 1
     assert instructions[0].pc == 0x0040_2000
+
+
+# ----------------------------------------------------------------------
+# fast-lane handling (the recorder must forward the lane, not smother it)
+
+
+class _FastHitMemory(MemorySystem):
+    """Stub whose fast lane resolves loads/ifetches and declines stores."""
+
+    name = "fast-stub"
+
+    def __init__(self):
+        super().__init__(make_test_config(), SystemStats.for_cpus(4))
+        self.fast_calls = 0
+        self.access_calls = 0
+
+    def access(self, cpu, kind, addr, at):
+        self.access_calls += 1
+        return AccessResult(at + 2, StallLevel.NONE)
+
+    def fast_load(self, cpu, addr, at):
+        self.fast_calls += 1
+        return at + 1
+
+    def fast_ifetch(self, cpu, addr, at):
+        self.fast_calls += 1
+        return at + 1
+
+    def fast_store(self, cpu, addr, at):
+        self.fast_calls += 1
+        return -1
+
+    def drain(self, at):
+        return at
+
+
+def test_recorder_forwards_and_records_the_fast_lane():
+    inner = _FastHitMemory()
+    recorder = TraceRecorder(inner)
+    assert recorder.fast_load(0, 0x100, 10) == 11
+    assert recorder.fast_ifetch(1, 0x400000, 10) == 11
+    # A decline is forwarded but NOT recorded: the CPU retries it via
+    # access(), which records it once.
+    assert recorder.fast_store(2, 0x200, 10) == -1
+    assert inner.fast_calls == 3
+    assert [(r.cpu, r.kind, r.addr) for r in recorder.records] == [
+        (0, AccessKind.LOAD, 0x100),
+        (1, AccessKind.IFETCH, 0x400000),
+    ]
+    assert recorder.records[1].pc == 0x400000
+
+
+def test_recorder_fast_lane_respects_limit():
+    inner = _FastHitMemory()
+    recorder = TraceRecorder(inner).limit(1)
+    assert recorder.fast_load(0, 0x100, 10) == 11
+    assert recorder.fast_load(0, 0x200, 12) == 13
+    # Still forwarded (simulation unchanged) but no longer recorded.
+    assert inner.fast_calls == 2
+    assert len(recorder.records) == 1
+
+
+def _recorded_stream(fast: bool):
+    functional = FunctionalMemory()
+    workload = LoopWorkload(4, functional, iterations=4)
+    config = make_test_config()
+    if not fast:
+        config = config.with_overrides(l1_fast_path=False)
+    system = System(
+        "shared-l1", workload, mem_config=config, max_cycles=2_000_000
+    )
+    recorder = record_run(system)
+    return recorder.records, system.stats
+
+
+def test_recording_identical_with_fast_lane_on_or_off():
+    """Regression: recording used to silently disable the fast lane
+    (the base-class fast_* methods decline). Forwarding must keep the
+    captured stream — count *and* content — identical either way."""
+    with_lane, stats_on = _recorded_stream(fast=True)
+    without_lane, stats_off = _recorded_stream(fast=False)
+    assert len(with_lane) == len(without_lane)
+    assert with_lane == without_lane
+    assert stats_on.to_dict() == stats_off.to_dict()
