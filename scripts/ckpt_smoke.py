@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""End-to-end crash-recovery smoke test for the resumable batch layer.
+
+Scenario (this is the CI ``ckpt-smoke`` job; see docs/CHECKPOINTING.md):
+
+1. Run ``reproduce_all --quick`` to completion — the baseline manifest
+   records every job's final statistics.
+2. Start the same evaluation again with in-run checkpointing enabled,
+   wait until a few jobs have landed in its manifest, then SIGKILL the
+   whole process group mid-batch (the OOM-killer / preemption case).
+3. Rerun the same command with ``--resume``: it must skip every
+   already-recorded job and finish the rest.
+4. Assert the interrupted-then-resumed manifest covers exactly the
+   same jobs as the baseline, with identical per-job statistics —
+   crash recovery changed nothing but the wall clock.
+
+Exit status 0 on success; any deviation prints a diagnostic and
+returns 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+REPRODUCE = REPO / "scripts" / "reproduce_all.py"
+
+
+def manifest_jobs(path: Path) -> dict[str, dict]:
+    """Job-key -> entry map from a batch manifest (empty if absent)."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+    jobs = payload.get("jobs", {})
+    return jobs if isinstance(jobs, dict) else {}
+
+
+def reproduce_cmd(manifest: Path, extra: list[str]) -> list[str]:
+    return [
+        sys.executable,
+        str(REPRODUCE),
+        "--quick",
+        "--no-cache",
+        "--jobs",
+        "2",
+        "--manifest",
+        str(manifest),
+        *extra,
+    ]
+
+
+def run_to_completion(cmd: list[str], env: dict) -> str:
+    proc = subprocess.run(
+        cmd, env=env, capture_output=True, text=True, check=False
+    )
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        raise SystemExit(f"FAIL: {' '.join(cmd[1:3])} exited "
+                         f"{proc.returncode}")
+    return proc.stdout
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workdir", default=None,
+        help="scratch directory (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--kill-after-jobs", type=int, default=3, metavar="N",
+        help="SIGKILL the interrupted run once N jobs are recorded",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=200_000, metavar="CYCLES",
+        help="in-run snapshot interval for the interrupted run",
+    )
+    parser.add_argument(
+        "--kill-timeout", type=float, default=600.0, metavar="S",
+        help="give up if the interrupted run never reaches the "
+             "kill threshold",
+    )
+    args = parser.parse_args(argv)
+
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="ckpt-smoke-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    base_manifest = workdir / "manifest_baseline.json"
+    int_manifest = workdir / "manifest_interrupted.json"
+    ckpt_dir = workdir / "ckpts"
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+
+    print("=== phase 1: uninterrupted baseline ===", flush=True)
+    run_to_completion(reproduce_cmd(base_manifest, []), env)
+    baseline = manifest_jobs(base_manifest)
+    if not baseline:
+        print("FAIL: baseline manifest is empty")
+        return 1
+    print(f"baseline: {len(baseline)} job(s) recorded")
+
+    print("=== phase 2: SIGKILL mid-batch ===", flush=True)
+    ckpt_flags = [
+        "--checkpoint-every", str(args.checkpoint_every),
+        "--ckpt-dir", str(ckpt_dir),
+    ]
+    # Own process group so the kill takes out pool workers too.
+    victim = subprocess.Popen(
+        reproduce_cmd(int_manifest, ckpt_flags),
+        env=env,
+        start_new_session=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + args.kill_timeout
+    while True:
+        landed = len(manifest_jobs(int_manifest))
+        if landed >= args.kill_after_jobs:
+            break
+        if victim.poll() is not None:
+            # Finished before we could kill it — the resume below then
+            # degenerates to "skip everything", which still validates
+            # the manifest comparison, so only warn.
+            print("warning: run finished before the kill threshold")
+            break
+        if time.monotonic() > deadline:
+            os.killpg(victim.pid, signal.SIGKILL)
+            print("FAIL: interrupted run never reached the kill "
+                  "threshold")
+            return 1
+        time.sleep(0.2)
+    if victim.poll() is None:
+        os.killpg(victim.pid, signal.SIGKILL)
+        victim.wait()
+        print(f"killed mid-batch with {len(manifest_jobs(int_manifest))} "
+              f"job(s) recorded")
+
+    print("=== phase 3: resume ===", flush=True)
+    before_resume = set(manifest_jobs(int_manifest))
+    out = run_to_completion(
+        reproduce_cmd(int_manifest, ckpt_flags + ["--resume"]), env
+    )
+    if before_resume and "[manifest]" not in out:
+        print("FAIL: resume re-ran jobs the manifest had recorded")
+        return 1
+
+    print("=== phase 4: compare against baseline ===", flush=True)
+    resumed = manifest_jobs(int_manifest)
+    if set(resumed) != set(baseline):
+        print(f"FAIL: job sets differ "
+              f"(baseline {len(baseline)}, resumed {len(resumed)})")
+        return 1
+    mismatched = [
+        entry["label"]
+        for key, entry in baseline.items()
+        if resumed[key]["result"]["stats"] != entry["result"]["stats"]
+    ]
+    if mismatched:
+        print("FAIL: per-job statistics diverged after crash recovery:")
+        for label in mismatched:
+            print(f"  {label}")
+        return 1
+    print(f"OK: {len(baseline)} job(s), interrupted+resumed statistics "
+          f"identical to the uninterrupted run")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

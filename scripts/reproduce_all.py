@@ -20,10 +20,21 @@ unchanged figure re-renders instantly on the next invocation.
 Usage:
     python scripts/reproduce_all.py [--quick] [--jobs N]
                                     [--no-cache] [--cache-dir PATH]
+                                    [--resume] [--manifest PATH]
+                                    [--checkpoint-every N]
+                                    [--ckpt-dir PATH] [--timeout S]
 
 ``--quick`` skips the MXS figure (Figure 11). Serial, uncached wall
 clock is ~40s quick / ~3 minutes full; ``--jobs 4`` cuts either by
 roughly 4x on a 4-core host.
+
+The batch is resumable (see docs/CHECKPOINTING.md): every completed
+job is recorded in an on-disk manifest as it lands, and ``--resume``
+skips manifest-recorded jobs entirely — a SIGKILLed invocation picks
+up where it stopped. ``--checkpoint-every N --ckpt-dir PATH``
+additionally snapshots each *in-flight* simulation every N cycles, so
+a retried or resumed job restarts mid-run instead of from cycle 0.
+``--timeout S`` bounds each job's wall-clock time.
 """
 
 from __future__ import annotations
@@ -39,10 +50,16 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
 from harness import BENCH_OVERRIDES, MAX_CYCLES, report  # noqa: E402
 from repro.core.configs import ARCHITECTURES  # noqa: E402
-from repro.core.runner import Job, ResultCache, Runner  # noqa: E402
+from repro.core.runner import (  # noqa: E402
+    BatchManifest,
+    Job,
+    ResultCache,
+    Runner,
+)
 
 RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
 BASELINE = RESULTS / "bench_runner.json"
+MANIFEST = RESULTS / "manifest.json"
 
 FIGURES = (
     ("fig04_eqntott", "Figure 4 - Eqntott (Mipsy)", "eqntott"),
@@ -77,11 +94,20 @@ def figure_specs(quick: bool) -> list[tuple[str, str, str, str]]:
     return specs
 
 
-def build_batch(specs, obs_sample: int = 0) -> list[Job]:
+def build_batch(
+    specs,
+    obs_sample: int = 0,
+    timeout_s: float = 0.0,
+    ckpt_every: int = 0,
+    ckpt_dir: str | None = None,
+) -> list[Job]:
     """One job per (figure, architecture) — the whole evaluation.
 
     ``obs_sample`` > 0 attaches the utilization sampler to every job
     at that interval; the rollups land in bench_runner.json.
+    ``timeout_s``/``ckpt_every``/``ckpt_dir`` are execution policy
+    passed through to every job (wall-clock budget, periodic in-run
+    checkpointing for crash recovery).
     """
     return [
         Job(
@@ -92,6 +118,9 @@ def build_batch(specs, obs_sample: int = 0) -> list[Job]:
             overrides=dict(BENCH_OVERRIDES.get(workload, {})),
             max_cycles=MAX_CYCLES,
             obs_sample=obs_sample,
+            timeout_s=timeout_s,
+            ckpt_every=ckpt_every,
+            ckpt_dir=ckpt_dir,
         )
         for _name, _title, workload, cpu_model in specs
         for arch in ARCHITECTURES
@@ -107,11 +136,20 @@ def render_reports(specs, outcomes) -> dict[str, float]:
     timings: dict[str, float] = {}
     cursor = iter(outcomes)
     for name, title, _workload, cpu_model in specs:
-        results, walls = {}, 0.0
+        results, walls, failed = {}, 0.0, []
         for arch in ARCHITECTURES:
             outcome = next(cursor)
+            if outcome.result is None:
+                failed.append(f"{arch}: {outcome.error}")
+                continue
             results[arch] = outcome.result
             walls += outcome.wall_seconds
+        if failed:
+            # A figure with a failed architecture cannot be rendered;
+            # report it and keep going so the rest of the gallery
+            # still regenerates.
+            print(f"  [skip  ] {name}: " + "; ".join(failed))
+            continue
         report(name, title, results, mxs=cpu_model == "mxs")
         print(f"  [{walls:5.1f}s] {name}")
         timings[name] = round(walls, 3)
@@ -165,6 +203,8 @@ def append_baseline(
         "utilization": round(run_report.utilization(), 3),
         "cache_hits": run_report.cache_hits,
         "cache_misses": run_report.cache_misses,
+        "failures": len(run_report.failures),
+        "worker_crashes": run_report.worker_crashes,
         "figures": timings,
         # Per-job host wall time and simulation speed (cycles per host
         # second; null for cache hits) — the per-run record that makes
@@ -206,18 +246,64 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         help="attach the utilization sampler to every job at this "
              "interval (0 = off); rollups land in bench_runner.json",
     )
-    return parser.parse_args(argv)
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip jobs already recorded in the batch manifest "
+             "(continue a killed invocation)",
+    )
+    parser.add_argument(
+        "--manifest", metavar="PATH", default=None,
+        help=f"batch manifest location (default: {MANIFEST})",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="CYCLES",
+        help="snapshot every in-flight simulation at this cycle "
+             "interval (requires --ckpt-dir); retried/resumed jobs "
+             "restart from their last checkpoint",
+    )
+    parser.add_argument(
+        "--ckpt-dir", metavar="PATH", default=None,
+        help="checkpoint store for --checkpoint-every",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=0.0, metavar="SECONDS",
+        help="per-job wall-clock budget (0 = unlimited)",
+    )
+    args = parser.parse_args(argv)
+    if args.checkpoint_every and not args.ckpt_dir:
+        parser.error("--checkpoint-every requires --ckpt-dir")
+    return args
 
 
 def main(argv: list[str] | None = None) -> int:
     args = parse_args(argv)
     started = time.perf_counter()
     specs = figure_specs(args.quick)
-    batch = build_batch(specs, obs_sample=args.obs_sample)
+    batch = build_batch(
+        specs,
+        obs_sample=args.obs_sample,
+        timeout_s=args.timeout,
+        ckpt_every=args.checkpoint_every,
+        ckpt_dir=args.ckpt_dir,
+    )
+    manifest_path = Path(args.manifest) if args.manifest else MANIFEST
+    if not args.resume:
+        # A fresh invocation starts its own completion record; only
+        # --resume continues the previous one.
+        try:
+            manifest_path.unlink()
+        except FileNotFoundError:
+            pass
+    manifest_path.parent.mkdir(parents=True, exist_ok=True)
+    manifest = BatchManifest(manifest_path)
+    if args.resume and len(manifest):
+        print(f"resuming: {len(manifest)} job(s) already in "
+              f"{manifest_path}")
     runner = Runner(
         jobs=args.jobs,
         cache=None if args.no_cache else ResultCache(args.cache_dir),
         progress=lambda line: print(f"  {line}", flush=True),
+        manifest=manifest,
     )
     print(f"Running {len(batch)} simulations "
           f"({len(specs)} figures x {len(ARCHITECTURES)} architectures) "
@@ -229,7 +315,7 @@ def main(argv: list[str] | None = None) -> int:
     total_wall = time.perf_counter() - started
     append_baseline(total_wall, timings, run_report, args)
     print(f"done in {total_wall:.1f}s ({run_report.summary()})")
-    return 0
+    return 1 if run_report.failures else 0
 
 
 if __name__ == "__main__":

@@ -28,6 +28,6 @@ Quickstart::
     print(normalized_times(results))
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = ["__version__"]

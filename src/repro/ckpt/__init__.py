@@ -1,0 +1,24 @@
+"""Checkpoint/restore for simulation runs.
+
+``snapshot_system`` serializes a paused :class:`~repro.core.system.System`
+to a JSON-compatible dict; ``restore_system`` loads one into a freshly
+built system so the run continues cycle-for-cycle identically.
+``CheckpointStore`` keeps snapshots on disk as content-addressed,
+integrity-checked blobs. See ``docs/CHECKPOINTING.md`` for the format
+and the determinism contract.
+"""
+
+from repro.ckpt.snapshot import (
+    SNAPSHOT_FORMAT,
+    restore_system,
+    snapshot_system,
+)
+from repro.ckpt.store import CheckpointStore, sanitize_key
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "CheckpointStore",
+    "restore_system",
+    "sanitize_key",
+    "snapshot_system",
+]

@@ -37,6 +37,22 @@ as Chrome/Perfetto trace JSON.
     python -m repro obs validate trace.json
         Check a recorded event file against the trace-format rules.
 
+    python -m repro ckpt save --workload eqntott --arch shared-l1 \
+            --at 100000 --dir ckpts/
+        Run to a cycle, snapshot, and print the checkpoint digest.
+
+    python -m repro ckpt resume <digest> --dir ckpts/
+        Restore a checkpoint and run it to completion.
+
+    python -m repro ckpt inspect <digest> --dir ckpts/
+        Print a checkpoint's metadata (cycle, arch, versions).
+
+``run`` supports fault-tolerant long runs (see docs/CHECKPOINTING.md):
+``--checkpoint-every N --checkpoint-dir PATH`` snapshots periodically
+and auto-resumes from the latest checkpoint after a kill;
+``--from-checkpoint DIGEST`` restores an explicit snapshot; and
+``--timeout SECONDS`` bounds the wall-clock time.
+
     python -m repro trace --workload eqntott --limit 60
         Dump a workload's instruction stream (no simulation).
 
@@ -161,6 +177,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the event timeline to PATH as Chrome/Perfetto "
              "trace JSON (runs in-process; implies observability)",
     )
+    run_p.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="CYCLES",
+        help="snapshot the run every CYCLES simulated cycles "
+             "(requires --checkpoint-dir; see docs/CHECKPOINTING.md)",
+    )
+    run_p.add_argument(
+        "--checkpoint-dir", metavar="PATH", default=None,
+        help="checkpoint store location; with --checkpoint-every the "
+             "run auto-resumes from its latest checkpoint after a kill",
+    )
+    run_p.add_argument(
+        "--from-checkpoint", metavar="DIGEST", default=None,
+        help="restore this checkpoint digest before running "
+             "(requires --checkpoint-dir; runs in-process)",
+    )
+    run_p.add_argument(
+        "--timeout", type=float, default=0.0, metavar="SECONDS",
+        help="abort the simulation after this much wall-clock time",
+    )
 
     cmp_p = sub.add_parser(
         "compare", help="run all three architectures and compare"
@@ -194,6 +229,60 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "selfcheck",
         help="run the fast invariant battery (seconds; for CI)",
+    )
+
+    ckpt_p = sub.add_parser(
+        "ckpt", help="checkpoints: save, resume, inspect"
+    )
+    ckpt_sub = ckpt_p.add_subparsers(dest="ckpt_command", required=True)
+    ckpt_save_p = ckpt_sub.add_parser(
+        "save", help="run a simulation to a cycle and snapshot it"
+    )
+    ckpt_save_p.add_argument(
+        "--workload", "-w", required=True, choices=sorted(WORKLOADS)
+    )
+    ckpt_save_p.add_argument(
+        "--arch", "-a", required=True, choices=ARCHITECTURES
+    )
+    ckpt_save_p.add_argument(
+        "--cpu", "-c", default="mipsy", choices=CPU_MODELS
+    )
+    ckpt_save_p.add_argument("--cpus", "-n", type=int, default=4)
+    ckpt_save_p.add_argument(
+        "--scale", "-s", default="test", choices=_SCALES
+    )
+    ckpt_save_p.add_argument(
+        "--set", dest="overrides", type=_parse_override, action="append",
+        default=[], metavar="FIELD=VALUE",
+        help="override a MemConfig field (repeatable)",
+    )
+    ckpt_save_p.add_argument(
+        "--at", type=int, required=True, metavar="CYCLE",
+        help="cycle to pause and snapshot at",
+    )
+    ckpt_save_p.add_argument(
+        "--dir", required=True, metavar="PATH",
+        help="checkpoint store directory",
+    )
+    ckpt_resume_p = ckpt_sub.add_parser(
+        "resume", help="restore a checkpoint and run it to completion"
+    )
+    ckpt_resume_p.add_argument("digest", help="checkpoint digest to resume")
+    ckpt_resume_p.add_argument(
+        "--dir", required=True, metavar="PATH",
+        help="checkpoint store directory",
+    )
+    ckpt_resume_p.add_argument(
+        "--max-cycles", type=int, default=50_000_000,
+        help="safety cap on simulated cycles",
+    )
+    ckpt_inspect_p = ckpt_sub.add_parser(
+        "inspect", help="print a checkpoint's metadata"
+    )
+    ckpt_inspect_p.add_argument("digest", help="checkpoint digest")
+    ckpt_inspect_p.add_argument(
+        "--dir", required=True, metavar="PATH",
+        help="checkpoint store directory",
     )
 
     obs_p = sub.add_parser(
@@ -268,6 +357,14 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if (args.checkpoint_every or args.from_checkpoint) and not \
+            args.checkpoint_dir:
+        print(
+            "error: --checkpoint-every/--from-checkpoint require "
+            "--checkpoint-dir",
+            file=sys.stderr,
+        )
+        return 2
     job = Job(
         arch=args.arch,
         workload=args.workload,
@@ -277,6 +374,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides=dict(args.overrides),
         max_cycles=args.max_cycles,
         obs_sample=args.sample_interval or 0,
+        timeout_s=args.timeout,
+        ckpt_every=args.checkpoint_every,
+        ckpt_dir=args.checkpoint_dir,
     )
     profile = args.profile or args.profile_out is not None
     obs_config = None
@@ -302,14 +402,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 lambda: job.run(obs=obs_config)
             )
             report = None
-        elif obs_config is not None:
-            # The event file is written by the run itself, so it must
-            # happen in this process and never come from the cache.
-            result = job.run(obs=obs_config)
+        elif obs_config is not None or args.from_checkpoint is not None:
+            # The event file is written by the run itself (and an
+            # explicit checkpoint restore changes where the run starts),
+            # so these run in this process and never come from the
+            # cache.
+            result = job.run(
+                obs=obs_config, resume_from=args.from_checkpoint
+            )
             report = None
         else:
             report = _runner_for(args).run([job])
-            result = report.outcomes[0].result
+            outcome = report.outcomes[0]
+            if outcome.result is None:
+                kind = "timeout" if outcome.timed_out else "failed"
+                print(f"error ({kind}): {outcome.error}", file=sys.stderr)
+                return 2
+            result = outcome.result
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -339,6 +448,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 if key != "kind"
             )
             print(f"    {name:<20} [{info['kind']}] {fields}")
+    ckpt = result.extras.get("checkpoint")
+    if ckpt:
+        line = f"  checkpoints   {ckpt['saved']} saved"
+        if ckpt.get("resumed_from"):
+            line += f", resumed from {ckpt['resumed_from'][:12]}"
+        print(line)
     print(f"  wall time     {result.wall_seconds:.2f}s")
     if report is not None:
         print(f"  runner        {report.summary()}")
@@ -493,6 +608,101 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_ckpt_system(
+    workload_name: str,
+    arch: str,
+    cpu_model: str,
+    n_cpus: int,
+    scale: str,
+    overrides: dict | None = None,
+    obs_meta: dict | None = None,
+    max_cycles: int | None = None,
+):
+    """A fresh checkpoint-capable system for the ``ckpt`` subcommands."""
+    from repro.core.configs import config_for_scale
+    from repro.core.system import System
+    from repro.mem.functional import FunctionalMemory
+
+    config = config_for_scale(scale, n_cpus)
+    if overrides:
+        config = config.with_overrides(**overrides)
+    obs_config = None
+    if obs_meta:
+        from repro.obs import ObsConfig
+
+        obs_config = ObsConfig(
+            sample_interval=obs_meta.get("sample_interval", 0),
+            events=obs_meta.get("events", False),
+        )
+    functional = FunctionalMemory()
+    workload = WORKLOADS[workload_name](n_cpus, functional, scale)
+    return System(
+        arch,
+        workload,
+        cpu_model=cpu_model,
+        mem_config=config,
+        max_cycles=max_cycles,
+        obs=obs_config,
+        checkpointing=True,
+    )
+
+
+def _cmd_ckpt(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.ckpt import CheckpointStore, restore_system, snapshot_system
+
+    store = CheckpointStore(args.dir)
+    try:
+        if args.ckpt_command == "inspect":
+            meta = store.inspect(args.digest)
+            print(json_mod.dumps(meta, indent=2, sort_keys=True))
+            return 0
+        if args.ckpt_command == "save":
+            overrides = dict(args.overrides)
+            system = _build_ckpt_system(
+                args.workload, args.arch, args.cpu, args.cpus,
+                args.scale, overrides=overrides,
+            )
+            system.run(pause_at=args.at)
+            if not system.paused:
+                print(
+                    f"run finished at cycle {system._cycle} before "
+                    f"reaching cycle {args.at}; nothing to checkpoint",
+                    file=sys.stderr,
+                )
+                return 1
+            extra = {"scale": args.scale}
+            if overrides:
+                extra["overrides"] = overrides
+            digest = store.save(snapshot_system(system, extra_meta=extra))
+            print(f"checkpoint saved at cycle {system._cycle}")
+            print(digest)
+            return 0
+        # resume
+        state = store.load(args.digest)
+        meta = state["meta"]
+        system = _build_ckpt_system(
+            meta["workload"], meta["arch"], meta["cpu_model"],
+            meta["n_cpus"], meta.get("scale", "test"),
+            overrides=meta.get("overrides"),
+            obs_meta=meta.get("obs"),
+            max_cycles=args.max_cycles,
+        )
+        restore_system(system, state)
+        stats = system.run()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"{meta['workload']} on {meta['arch']} ({meta['cpu_model']}): "
+        f"resumed at cycle {meta['cycle']}, finished at {stats.cycles}"
+    )
+    print(f"  instructions  {stats.instructions}")
+    print(f"  machine IPC   {stats.ipc:.3f}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.mem.functional import FunctionalMemory
 
@@ -541,6 +751,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "ckpt":
+        return _cmd_ckpt(args)
     if args.command == "selfcheck":
         from repro.core.selfcheck import run_selfcheck
 

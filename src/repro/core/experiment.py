@@ -151,6 +151,10 @@ def run_one(
     cpu_params: CpuParams | None = None,
     max_cycles: int | None = None,
     obs: "ObsConfig | None" = None,
+    checkpoint_every: int = 0,
+    checkpoint_dir: str | None = None,
+    checkpoint_key: str | None = None,
+    resume_from: str | None = None,
 ) -> ExperimentResult:
     """Build and run one system; returns the result record.
 
@@ -158,7 +162,22 @@ def run_one(
     :class:`~repro.obs.observe.Observation`; its rollup lands in
     ``extras["obs"]`` and, when ``obs.events_path`` is set, the event
     timeline is written there as Chrome/Perfetto trace JSON.
+
+    ``checkpoint_every`` > 0 pauses the run at every multiple of that
+    cycle count and snapshots it into the
+    :class:`~repro.ckpt.CheckpointStore` at ``checkpoint_dir`` (updating
+    the ``checkpoint_key`` latest pointer, if given, so a killed run can
+    be picked up where it left off). ``resume_from`` restores the named
+    checkpoint digest from the same store before running. Checkpointed
+    and resumed runs produce bit-identical statistics to uninterrupted
+    ones — see ``docs/CHECKPOINTING.md``. Checkpoint progress lands in
+    ``extras["checkpoint"]``.
     """
+    checkpointing = bool(checkpoint_every) or resume_from is not None
+    if checkpointing and checkpoint_dir is None:
+        raise ConfigError(
+            "checkpoint_every/resume_from require checkpoint_dir"
+        )
     functional = FunctionalMemory()
     workload = factory(n_cpus, functional, scale)
     config = (
@@ -174,15 +193,29 @@ def run_one(
         cpu_params=cpu_params,
         max_cycles=max_cycles,
         obs=obs,
+        checkpointing=checkpointing,
     )
     started = time.perf_counter()
-    stats = system.run()
+    if checkpointing:
+        stats, ckpt_extras = _run_checkpointed(
+            system,
+            every=checkpoint_every,
+            ckpt_dir=checkpoint_dir,
+            key=checkpoint_key,
+            resume_from=resume_from,
+            extra_meta={"scale": scale},
+        )
+    else:
+        stats = system.run()
+        ckpt_extras = None
     elapsed = time.perf_counter() - started
     extras = {
         "resources": system.memory.resource_report(max(stats.cycles, 1)),
         "truncated": system.truncated,
         "sync": workload.sync_report(),
     }
+    if ckpt_extras is not None:
+        extras["checkpoint"] = ckpt_extras
     if system.obs is not None:
         extras["obs"] = system.obs.rollup()
         if obs.events_path:
@@ -199,6 +232,52 @@ def run_one(
         wall_seconds=elapsed,
         extras=extras,
     )
+
+
+def _run_checkpointed(
+    system: System,
+    every: int,
+    ckpt_dir: str,
+    key: str | None,
+    resume_from: str | None,
+    extra_meta: dict | None = None,
+) -> tuple[SystemStats, dict]:
+    """Drive ``system`` in checkpoint-sized segments.
+
+    The run pauses at every multiple of ``every`` cycles (aligned to
+    absolute cycle numbers, so a resumed run checkpoints at the same
+    boundaries an uninterrupted one would), snapshots, and continues.
+    On completion the ``key`` latest pointer is cleared — a finished
+    job never resumes.
+    """
+    from repro.ckpt import CheckpointStore, restore_system, snapshot_system
+
+    store = CheckpointStore(ckpt_dir)
+    last_digest = None
+    if resume_from is not None:
+        state = store.load(resume_from)
+        restore_system(system, state)
+        last_digest = resume_from
+    saved = 0
+    while True:
+        if every:
+            pause_at = (system._cycle // every + 1) * every
+            stats = system.run(pause_at=pause_at)
+        else:
+            stats = system.run()
+        if not system.paused:
+            break
+        state = snapshot_system(system, extra_meta=extra_meta)
+        last_digest = store.save(state, key=key)
+        saved += 1
+    if key is not None:
+        store.clear_latest(key)
+    return stats, {
+        "every": every,
+        "saved": saved,
+        "resumed_from": resume_from,
+        "last_digest": last_digest,
+    }
 
 
 def run_architecture_comparison(

@@ -33,8 +33,11 @@ import dataclasses
 import hashlib
 import json
 import os
+import signal
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
@@ -46,7 +49,7 @@ from repro.core.experiment import (
     WorkloadFactory,
     run_one,
 )
-from repro.errors import ConfigError
+from repro.errors import ConfigError, JobTimeoutError
 
 
 def default_jobs() -> int:
@@ -89,6 +92,15 @@ class Job:
     interval; the rollup travels back in ``extras["obs"]`` (and through
     the cache — the interval is part of the spec, so observed and
     unobserved runs never share an entry).
+
+    ``timeout_s``, ``ckpt_every`` and ``ckpt_dir`` are *execution
+    policy*, not simulation inputs: they change how a run is babysat
+    (wall-clock budget, periodic checkpointing for crash recovery), not
+    what it computes, so they are excluded from :meth:`spec` and
+    :meth:`key` — a checkpointed run shares its cache entry with a
+    plain one. With ``ckpt_dir`` set, :meth:`run` automatically resumes
+    from the job's latest checkpoint when one exists (a retry after a
+    crash picks up mid-run instead of restarting from cycle 0).
     """
 
     arch: str
@@ -100,6 +112,9 @@ class Job:
     cpu_params: CpuParams | None = None
     max_cycles: int | None = None
     obs_sample: int = 0
+    timeout_s: float = 0.0
+    ckpt_every: int = 0
+    ckpt_dir: str | None = None
 
     def workload_key(self) -> str:
         """Stable identity of the workload for hashing and display."""
@@ -167,13 +182,20 @@ class Job:
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
-    def run(self, obs: "ObsConfig | None" = None) -> ExperimentResult:
+    def run(
+        self,
+        obs: "ObsConfig | None" = None,
+        resume_from: str | None = None,
+    ) -> ExperimentResult:
         """Execute this job in the current process.
 
         ``obs`` overrides the observability configuration (the CLI's
         in-process ``--events`` path, which needs an output file the
         picklable spec cannot carry); by default ``obs_sample`` > 0
-        enables sampling-only observability.
+        enables sampling-only observability. ``resume_from`` names an
+        explicit checkpoint digest to restore before running; without
+        it, a job with ``ckpt_dir`` resumes from its latest checkpoint
+        automatically when one exists.
         """
         config = config_for_scale(self.scale, self.n_cpus)
         if self.overrides:
@@ -182,6 +204,15 @@ class Job:
             from repro.obs import ObsConfig
 
             obs = ObsConfig(sample_interval=self.obs_sample)
+        ckpt_key = None
+        if self.ckpt_dir:
+            from repro.ckpt import CheckpointStore
+
+            ckpt_key = self.key()
+            if resume_from is None:
+                resume_from = CheckpointStore(self.ckpt_dir).latest(
+                    ckpt_key
+                )
         return run_one(
             self.arch,
             self.resolve_factory(),
@@ -192,6 +223,10 @@ class Job:
             cpu_params=self.cpu_params,
             max_cycles=self.max_cycles,
             obs=obs,
+            checkpoint_every=self.ckpt_every if self.ckpt_dir else 0,
+            checkpoint_dir=self.ckpt_dir,
+            checkpoint_key=ckpt_key,
+            resume_from=resume_from,
         )
 
 
@@ -214,7 +249,39 @@ def register_workload(name: str, factory: WorkloadFactory) -> None:
 
 def _execute_job(job: Job) -> ExperimentResult:
     """Module-level trampoline so the pool can pickle the call."""
-    return job.run()
+    return _run_with_timeout(job)
+
+
+def _run_with_timeout(job: Job) -> ExperimentResult:
+    """Run ``job``, enforcing its wall-clock budget when one is set.
+
+    The budget is enforced with ``SIGALRM`` (an interval timer raising
+    :class:`~repro.errors.JobTimeoutError` inside the running
+    simulation), which only works on the main thread of a POSIX
+    process; elsewhere the job runs unbudgeted rather than failing.
+    The previous handler and timer are restored on every exit path, so
+    nesting and reuse of the worker process are safe.
+    """
+    timeout = job.timeout_s
+    if (
+        not timeout
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return job.run()
+
+    def _expired(signum, frame):
+        raise JobTimeoutError(
+            f"job {job.label()} exceeded its {timeout:g}s budget"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return job.run()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 _FINGERPRINT: str | None = None
@@ -304,12 +371,26 @@ class ResultCache:
 
 @dataclass
 class JobOutcome:
-    """One job's result plus how it was obtained."""
+    """One job's result plus how it was obtained.
+
+    ``result`` is ``None`` when the job failed: ``timed_out`` marks a
+    blown wall-clock budget, otherwise ``error`` carries the failure
+    text (an exception from the simulation, or quarantine after
+    repeated worker crashes). ``attempts`` counts executions including
+    retries after crashes.
+    """
 
     job: Job
-    result: ExperimentResult
+    result: ExperimentResult | None
     cached: bool = False
     wall_seconds: float = 0.0       # execution time *this* run (0 on hit)
+    error: str | None = None
+    timed_out: bool = False
+    attempts: int = 1
+
+    @property
+    def failed(self) -> bool:
+        return self.result is None
 
 
 @dataclass
@@ -325,10 +406,20 @@ class RunReport:
     total_wall: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    worker_crashes: int = 0
 
     @property
     def results(self) -> list[ExperimentResult]:
-        return [outcome.result for outcome in self.outcomes]
+        return [
+            outcome.result
+            for outcome in self.outcomes
+            if outcome.result is not None
+        ]
+
+    @property
+    def failures(self) -> list[JobOutcome]:
+        """Outcomes that produced no result (errors and timeouts)."""
+        return [o for o in self.outcomes if o.result is None]
 
     @property
     def busy_seconds(self) -> float:
@@ -349,6 +440,12 @@ class RunReport:
             f"on {self.workers} worker(s)"
         ]
         parts.append(f"{executed} run, {self.cache_hits} cached")
+        failed = self.failures
+        if failed:
+            timeouts = sum(1 for o in failed if o.timed_out)
+            parts.append(f"{len(failed)} failed ({timeouts} timed out)")
+        if self.worker_crashes:
+            parts.append(f"{self.worker_crashes} worker crash(es)")
         if executed:
             parts.append(f"{100 * self.utilization():.0f}% utilization")
         return "; ".join(parts)
@@ -357,20 +454,24 @@ class RunReport:
         """JSON-serializable telemetry (perf baselines, dashboards)."""
         per_job = []
         for outcome in self.outcomes:
+            result = outcome.result
             entry = {
                 "label": outcome.job.label(),
                 "wall_seconds": outcome.wall_seconds,
                 "cached": outcome.cached,
-                "cycles": outcome.result.stats.cycles,
+                "cycles": result.stats.cycles if result else None,
                 # Simulation speed; None for cache hits (no host
-                # time was spent simulating this run).
+                # time was spent simulating this run) and failures.
                 "cycles_per_host_second": (
-                    outcome.result.stats.cycles / outcome.wall_seconds
-                    if outcome.wall_seconds > 0
+                    result.stats.cycles / outcome.wall_seconds
+                    if result is not None and outcome.wall_seconds > 0
                     else None
                 ),
+                "error": outcome.error,
+                "timed_out": outcome.timed_out,
+                "attempts": outcome.attempts,
             }
-            obs = outcome.result.extras.get("obs")
+            obs = result.extras.get("obs") if result is not None else None
             if obs:
                 # Sampled-utilization rollup for observed jobs (mean /
                 # max per series; the series themselves stay in the
@@ -389,8 +490,63 @@ class RunReport:
             "utilization": self.utilization(),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "failures": len(self.failures),
+            "worker_crashes": self.worker_crashes,
             "per_job": per_job,
         }
+
+
+class BatchManifest:
+    """On-disk record of which jobs of a batch have completed.
+
+    One JSON file mapping :meth:`Job.key` to the finished result
+    payload. The runner records every success as it lands (atomic
+    tmp + rename per update, so a kill mid-batch leaves a readable
+    manifest), and the pre-pass skips jobs already present — this is
+    what ``scripts/reproduce_all.py --resume`` builds on. Keys include
+    the package source fingerprint, so a manifest written by different
+    code never satisfies a resume.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._entries: dict[str, dict] = {}
+        try:
+            payload = json.loads(self.path.read_text())
+            entries = payload.get("jobs", {})
+            if isinstance(entries, dict):
+                self._entries = entries
+        except FileNotFoundError:
+            pass
+        except (OSError, ValueError):
+            # Unreadable manifest: treat as empty rather than failing
+            # the batch; completed work is re-run, never lost.
+            self._entries = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, job: Job) -> ExperimentResult | None:
+        """The recorded result for ``job``, or ``None``."""
+        entry = self._entries.get(job.key())
+        if entry is None:
+            return None
+        try:
+            return ExperimentResult.from_dict(entry["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def record(self, job: Job, result: ExperimentResult) -> None:
+        """Persist ``job``'s completion (atomic incremental write)."""
+        self._entries[job.key()] = {
+            "label": job.label(),
+            "result": result.to_dict(),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": repro.__version__, "jobs": self._entries}
+        tmp = self.path.parent / f".{self.path.name}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, self.path)
 
 
 class Runner:
@@ -407,7 +563,24 @@ class Runner:
     caching — the CLI and scripts opt in explicitly.
 
     ``progress`` is an optional callable receiving one line per job
-    event (completion or cache hit).
+    event (completion, cache hit, failure, or worker crash).
+
+    ``manifest`` is an optional :class:`BatchManifest`: completed jobs
+    are recorded as they land, and jobs already in the manifest are
+    skipped (reported as cached) — the resumable-batch layer.
+
+    Fault tolerance: a worker killed mid-job (OOM killer, node
+    preemption) breaks the whole ``ProcessPoolExecutor``. Instead of
+    aborting the batch, the runner rebuilds the pool, requeues every
+    job the broken pool failed to finish, and retries each at most
+    ``max_retries`` times — with ``ckpt_dir`` set on the jobs, each
+    retry resumes from the job's last checkpoint rather than cycle 0.
+    A job still crashing after its retries is quarantined: recorded as
+    a failed :class:`JobOutcome` so the rest of the batch completes.
+    Timeouts are terminal (a retry would time out again); other
+    exceptions from a parallel run are recorded as failures, while the
+    serial path re-raises them (debugging-friendly, and the historical
+    contract).
     """
 
     def __init__(
@@ -415,13 +588,19 @@ class Runner:
         jobs: int | None = None,
         cache: ResultCache | None = None,
         progress: Callable[[str], None] | None = None,
+        manifest: BatchManifest | None = None,
+        max_retries: int = 2,
     ) -> None:
         requested = default_jobs() if jobs is None else jobs
         if requested < 1:
             raise ConfigError("runner needs at least one worker")
+        if max_retries < 0:
+            raise ConfigError("max_retries cannot be negative")
         self.n_jobs = requested
         self.cache = cache
         self.progress = progress
+        self.manifest = manifest
+        self.max_retries = max_retries
         self.last_report: RunReport | None = None
 
     def _tick(self, message: str) -> None:
@@ -437,29 +616,36 @@ class Runner:
         pending: list[tuple[int, Job]] = []
         hits = 0
         for index, job in enumerate(batch):
+            done = self.manifest.get(job) if self.manifest else None
+            if done is not None:
+                hits += 1
+                outcomes[index] = JobOutcome(job, done, cached=True)
+                self._tick(f"[manifest] {job.label()}")
+                continue
             cached = self.cache.get(job) if self.cache else None
             if cached is not None:
                 hits += 1
                 outcomes[index] = JobOutcome(job, cached, cached=True)
+                if self.manifest is not None:
+                    self.manifest.record(job, cached)
                 self._tick(f"[cache] {job.label()}")
             else:
                 pending.append((index, job))
 
         workers = min(self.n_jobs, len(pending)) if pending else 1
+        crashes = 0
         if workers <= 1:
             for index, job in pending:
-                outcomes[index] = self._finish(index, job, job.run())
-        else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_execute_job, job): (index, job)
-                    for index, job in pending
-                }
-                for future in as_completed(futures):
-                    index, job = futures[future]
-                    outcomes[index] = self._finish(
-                        index, job, future.result()
+                try:
+                    result = _run_with_timeout(job)
+                except JobTimeoutError as error:
+                    outcomes[index] = self._fail(
+                        job, str(error), timed_out=True
                     )
+                else:
+                    outcomes[index] = self._finish(index, job, result)
+        else:
+            crashes = self._run_pool(pending, workers, outcomes)
 
         report = RunReport(
             outcomes=[outcome for outcome in outcomes if outcome is not None],
@@ -467,17 +653,114 @@ class Runner:
             total_wall=time.perf_counter() - started,
             cache_hits=hits,
             cache_misses=len(pending) if self.cache else 0,
+            worker_crashes=crashes,
         )
         self.last_report = report
         return report
 
+    def _run_pool(
+        self,
+        pending: list[tuple[int, Job]],
+        workers: int,
+        outcomes: list[JobOutcome | None],
+    ) -> int:
+        """Parallel execution with crash recovery; returns crash count.
+
+        Each pass runs the queue over a fresh pool. A broken pool
+        (worker killed) fails every unfinished future with
+        ``BrokenProcessPool``; those jobs are requeued for the next
+        pass until their retry budget runs out.
+        """
+        queue = list(pending)
+        attempts = {index: 0 for index, _ in pending}
+        crashes = 0
+        while queue:
+            requeue: list[tuple[int, Job]] = []
+            pool_broke = False
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_execute_job, job): (index, job)
+                    for index, job in queue
+                }
+                for future in as_completed(futures):
+                    index, job = futures[future]
+                    attempts[index] += 1
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        pool_broke = True
+                        if attempts[index] > self.max_retries:
+                            outcomes[index] = self._fail(
+                                job,
+                                f"quarantined after {attempts[index]} "
+                                "crashed attempt(s)",
+                                attempts=attempts[index],
+                            )
+                        else:
+                            self._tick(f"[retry] {job.label()}")
+                            requeue.append((index, job))
+                    except JobTimeoutError as error:
+                        outcomes[index] = self._fail(
+                            job,
+                            str(error),
+                            timed_out=True,
+                            attempts=attempts[index],
+                        )
+                    except Exception as error:  # noqa: BLE001
+                        # A deterministic failure inside the simulation
+                        # (bad config, workload bug): retrying cannot
+                        # help, record it and keep the batch going.
+                        outcomes[index] = self._fail(
+                            job,
+                            f"{type(error).__name__}: {error}",
+                            attempts=attempts[index],
+                        )
+                    else:
+                        outcomes[index] = self._finish(
+                            index, job, result, attempts=attempts[index]
+                        )
+            if pool_broke:
+                crashes += 1
+            queue = requeue
+        return crashes
+
     def _finish(
-        self, index: int, job: Job, result: ExperimentResult
+        self,
+        index: int,
+        job: Job,
+        result: ExperimentResult,
+        attempts: int = 1,
     ) -> JobOutcome:
         if self.cache is not None:
             self.cache.put(job, result)
+        if self.manifest is not None:
+            self.manifest.record(job, result)
         self._tick(f"[{result.wall_seconds:5.1f}s] {job.label()}")
-        return JobOutcome(job, result, wall_seconds=result.wall_seconds)
+        return JobOutcome(
+            job,
+            result,
+            wall_seconds=result.wall_seconds,
+            attempts=attempts,
+        )
+
+    def _fail(
+        self,
+        job: Job,
+        error: str,
+        timed_out: bool = False,
+        attempts: int = 1,
+    ) -> JobOutcome:
+        self._tick(
+            f"[{'timeout' if timed_out else 'failed'}] {job.label()}: "
+            f"{error}"
+        )
+        return JobOutcome(
+            job,
+            None,
+            error=error,
+            timed_out=timed_out,
+            attempts=attempts,
+        )
 
 
 def run_jobs(
@@ -485,6 +768,9 @@ def run_jobs(
     jobs: int | None = None,
     cache: ResultCache | None = None,
     progress: Callable[[str], None] | None = None,
+    manifest: BatchManifest | None = None,
 ) -> RunReport:
     """One-shot convenience wrapper around :class:`Runner`."""
-    return Runner(jobs=jobs, cache=cache, progress=progress).run(batch)
+    return Runner(
+        jobs=jobs, cache=cache, progress=progress, manifest=manifest
+    ).run(batch)

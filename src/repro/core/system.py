@@ -40,6 +40,7 @@ class System:
         max_cycles: int | None = None,
         deadlock_horizon: int = DEFAULT_DEADLOCK_HORIZON,
         obs: "ObsConfig | None" = None,
+        checkpointing: bool = False,
     ) -> None:
         self.arch = arch
         self.workload = workload
@@ -76,6 +77,16 @@ class System:
         self.deadlock_horizon = deadlock_horizon
         #: set when the run stopped at max_cycles instead of completing
         self.truncated = False
+        #: True when checkpoint support (thread-program replay
+        #: recording) is enabled; required to snapshot or restore
+        self.checkpointing = checkpointing
+        #: set when run(pause_at=...) stopped at the pause point with
+        #: the workload still in flight; the system may be snapshot or
+        #: run() again to continue
+        self.paused = False
+        # Cycle the next run() call starts from (nonzero after a pause
+        # or a restore).
+        self._cycle = 0
 
         self.cpus = []
         for cpu_id in range(config.n_cpus):
@@ -94,6 +105,9 @@ class System:
                     params=cpu_params or CpuParams(),
                 )
             self.cpus.append(cpu)
+        if checkpointing:
+            for cpu in self.cpus:
+                cpu.enable_ckpt_recording()
 
         #: attached Observation, or None when observability is off
         self.obs = Observation(obs) if obs is not None else None
@@ -102,13 +116,28 @@ class System:
 
     # ------------------------------------------------------------------
 
-    def run(self) -> SystemStats:
-        """Run the workload to completion; returns the statistics."""
-        cycle = 0
-        active = list(self.cpus)
-        n_cpus = len(active)
-        last_progress_cycle = 0
-        last_instruction_count = 0
+    def run(self, pause_at: int | None = None) -> SystemStats:
+        """Run the workload to completion; returns the statistics.
+
+        ``pause_at`` stops the loop at the first iteration whose cycle
+        is >= that value (checkpoint support): the system sets
+        :attr:`paused`, folds the batched counters, and returns the
+        (partial) statistics without finalizing the run. Calling
+        :meth:`run` again continues exactly where the loop stopped — the
+        resumed iteration re-derives the same rotation, sampling and
+        event-queue decisions an uninterrupted run would have made, so
+        a paused-and-resumed run is cycle-for-cycle identical.
+        """
+        cycle = self._cycle
+        self.paused = False
+        active = [cpu for cpu in self.cpus if not cpu.done]
+        n_cpus = len(self.cpus)
+        # Watchdog baselines re-derive from the stats (they never touch
+        # simulated state, so a pause/resume boundary cannot perturb
+        # the simulation through them).
+        last_progress_cycle = cycle
+        last_instruction_count = sum(cpu.instructions for cpu in self.cpus)
+        pause = pause_at if pause_at is not None else 1 << 62
         engine = self.engine
         # The event queue is almost always empty (deferred work is
         # rare); binding the list makes the idle check one truth test
@@ -117,7 +146,7 @@ class System:
         # The watchdog needs no per-cycle precision; checking it (and
         # the engine) every so often keeps sums out of the hot loop.
         watchdog_stride = 4096
-        next_watchdog = watchdog_stride
+        next_watchdog = cycle + watchdog_stride
         huge = 1 << 62
         max_cycles = self.max_cycles if self.max_cycles is not None else huge
         obs = self.obs
@@ -131,6 +160,13 @@ class System:
             # the jump for a deadlock).
             if cycle >= max_cycles:
                 self.truncated = True
+                break
+
+            # Pause before this cycle does any work: the resumed loop
+            # re-runs the whole iteration (obs sampling, engine poll,
+            # CPU ticks) exactly as an uninterrupted run would.
+            if cycle >= pause:
+                self.paused = True
                 break
 
             if obs is not None:
@@ -195,8 +231,14 @@ class System:
 
         # Fold the CPUs' batched hot-loop counters into the stats
         # before anything reads them (truncated runs skip finish()).
+        self._cycle = cycle
         for cpu in self.cpus:
             cpu.flush_stats()
+        if self.paused:
+            # Mid-run stop: leave everything in flight (no finish(),
+            # no end-cycle accounting, no validation) so the run can
+            # be snapshot and/or continued.
+            return self.stats
         end_cycle = max((cpu.resume for cpu in self.cpus), default=cycle)
         end_cycle = max(end_cycle, self.memory.drain(cycle))
         if not self.truncated:

@@ -44,6 +44,8 @@ class BaseCpu(ABC):
         "_ifetch_pending",
         "_busy_pending",
         "_obs",
+        "_ckpt_log",
+        "_ckpt_advances",
     )
 
     def __init__(
@@ -75,6 +77,23 @@ class BaseCpu(ABC):
         self._busy_pending = 0
         # Attached Observation (None = no instrumentation anywhere).
         self._obs = None
+        # Checkpoint recording (None = off; see enable_ckpt_recording).
+        self._ckpt_log: list | None = None
+        self._ckpt_advances = 0
+
+    def enable_ckpt_recording(self) -> None:
+        """Start recording the thread-program interaction for replay.
+
+        Thread programs are live generators and cannot be pickled, so
+        :mod:`repro.ckpt` captures them as a *replay log*: the number of
+        instructions pulled so far plus every value sent back into the
+        generator. A fresh workload's generator re-advanced through the
+        same (count, values) sequence lands in the identical suspended
+        state. Recording is two list/int updates per instruction and is
+        only enabled on systems built for checkpointing.
+        """
+        self._ckpt_log = []
+        self._ckpt_advances = 0
 
     def attach_obs(self, obs) -> None:
         """Attach an :class:`~repro.obs.observe.Observation`; the
@@ -93,11 +112,20 @@ class BaseCpu(ABC):
             if self._has_value:
                 self._has_value = False
                 value, self._send_value = self._send_value, None
-                return self.program.send(value)
-            self._started = True
-            return next(self.program)
+                if self._ckpt_log is not None:
+                    # Append before send: the value is consumed by the
+                    # generator even when it finishes on this send, and
+                    # replay must feed it again either way.
+                    self._ckpt_log.append(value)
+                inst = self.program.send(value)
+            else:
+                self._started = True
+                inst = next(self.program)
         except StopIteration:
             return None
+        if self._ckpt_log is not None:
+            self._ckpt_advances += 1
+        return inst
 
     def deliver_value(self, value: object) -> None:
         """Queue a loaded value for the program's next resumption."""

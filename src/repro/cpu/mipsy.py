@@ -50,6 +50,8 @@ class MipsyCpu(BaseCpu):
             if self._has_value:
                 self._has_value = False
                 value, self._send_value = self._send_value, None
+                if self._ckpt_log is not None:
+                    self._ckpt_log.append(value)
                 inst = program.send(value)
             else:
                 self._started = True
@@ -57,6 +59,8 @@ class MipsyCpu(BaseCpu):
         except StopIteration:
             self.done = True
             return
+        if self._ckpt_log is not None:
+            self._ckpt_advances += 1
 
         memory = self.memory
         cpu_id = self.cpu_id

@@ -40,5 +40,24 @@ class WorkloadError(ReproError):
     """A workload definition or its parameters are invalid."""
 
 
+class CheckpointError(SimulationError):
+    """A checkpoint could not be taken, stored, or restored.
+
+    Raised when a snapshot meets state the protocol cannot serialize
+    (an unknown component type, a non-empty event queue), when a blob
+    fails its content-hash check, or when a restore target does not
+    match the checkpoint's recorded configuration.
+    """
+
+
+class JobTimeoutError(ReproError):
+    """A batch job exceeded its configured wall-clock budget.
+
+    Raised inside the worker (via ``SIGALRM``) so it crosses the
+    process boundary as an ordinary exception; the runner records the
+    job as timed out instead of retrying it.
+    """
+
+
 class ProtocolError(SimulationError):
     """A cache-coherence invariant was violated."""

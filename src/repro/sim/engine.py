@@ -140,6 +140,35 @@ class Engine:
             executed += 1
         return executed
 
+    # ------------------------------------------------------------------
+    # checkpointing (see repro.ckpt)
+
+    def ckpt_state(self) -> dict:
+        """Serializable engine state for :mod:`repro.ckpt`.
+
+        Callbacks are arbitrary closures and cannot survive a process
+        boundary, so a checkpoint may only be taken when no live events
+        are queued — the system run loop guarantees this by pausing at
+        a cycle boundary after :meth:`run_until` has drained everything
+        due. ``_seq`` is preserved because it feeds the cumulative
+        ``scheduled`` observability probe.
+        """
+        from repro.errors import CheckpointError
+
+        if len(self) != 0:
+            raise CheckpointError(
+                f"cannot checkpoint an engine with {len(self)} pending "
+                "event(s); events hold live callbacks"
+            )
+        return {"now": self.now, "seq": self._seq}
+
+    def ckpt_restore(self, state: dict) -> None:
+        """Restore from :meth:`ckpt_state` (queue starts empty)."""
+        self.now = state["now"]
+        self._seq = state["seq"]
+        self._queue = []
+        self._cancelled = 0
+
     def peek_time(self) -> int | None:
         """Time of the earliest pending event, or ``None`` if idle.
 

@@ -1,0 +1,91 @@
+"""Module-level workload factories for the fault-tolerance tests.
+
+These live in their own importable module (not a test file) so the
+``ProcessPoolExecutor`` workers can unpickle them by reference. They
+communicate with the parent test through the environment:
+
+* ``REPRO_TEST_KILL_DIR`` — directory for kill markers. The kill-once
+  factory SIGKILLs its own worker process the first time it runs and
+  leaves a marker so the retry succeeds; the kill-always factory dies
+  every time (quarantine path).
+* ``REPRO_TEST_SLEEP`` — seconds the sleepy factory burns before
+  building its workload (timeout path).
+
+Only ever submit the killing factories to a runner with ``jobs >= 2``:
+under ``jobs=1`` they execute in the calling process and would kill
+the test run itself.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+from repro.mem.functional import FunctionalMemory
+from repro.workloads import WORKLOADS
+
+
+def _real_workload(n_cpus: int, functional: FunctionalMemory, scale: str):
+    return WORKLOADS["fft"](n_cpus, functional, scale)
+
+
+def kill_once_workload(n_cpus, functional, scale):
+    """SIGKILL this worker on first execution; behave normally after."""
+    root = os.environ.get("REPRO_TEST_KILL_DIR")
+    if root:
+        marker = os.path.join(root, "killed-once")
+        if not os.path.exists(marker):
+            with open(marker, "w", encoding="utf-8"):
+                pass
+            os.kill(os.getpid(), signal.SIGKILL)
+    return _real_workload(n_cpus, functional, scale)
+
+
+def kill_always_workload(n_cpus, functional, scale):
+    """SIGKILL this worker on every execution (quarantine path)."""
+    if os.environ.get("REPRO_TEST_KILL_DIR"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _real_workload(n_cpus, functional, scale)
+
+
+def sleepy_workload(n_cpus, functional, scale):
+    """Burn wall-clock time before running (timeout path)."""
+    time.sleep(float(os.environ.get("REPRO_TEST_SLEEP", "5")))
+    return _real_workload(n_cpus, functional, scale)
+
+
+def cache_stress_worker(root: str, rounds: int) -> int:
+    """Hammer one ResultCache key with put+get cycles.
+
+    Run in several processes at once against the same ``root``; every
+    ``get`` must return either a fully valid result or a clean miss —
+    never a torn read. Returns the number of successful reads.
+    """
+    from repro.core.experiment import ExperimentResult
+    from repro.core.runner import Job, ResultCache
+    from repro.sim.stats import SystemStats
+
+    cache = ResultCache(root)
+    job = Job(arch="shared-l1", workload="ear", scale="test")
+    reads = 0
+    for round_no in range(rounds):
+        stats = SystemStats.for_cpus(4)
+        stats.cycles = 1000 + round_no
+        stats.instructions = 2000 + round_no
+        result = ExperimentResult(
+            arch=job.arch,
+            workload="ear",
+            cpu_model=job.cpu_model,
+            scale=job.scale,
+            stats=stats,
+        )
+        cache.put(job, result)
+        got = cache.get(job)
+        if got is not None:
+            # A concurrent writer may have replaced the entry, but a
+            # successful read must always be a complete payload.
+            assert got.stats.cycles >= 1000
+            assert got.stats.instructions >= 2000
+            reads += 1
+    return reads

@@ -1,0 +1,311 @@
+"""Checkpoint/restore: the bit-identical determinism contract.
+
+The hard guarantee (docs/CHECKPOINTING.md): run-to-end versus
+pause-at-N / snapshot / restore-in-a-fresh-system / run-to-end must
+produce **bit-identical** ``SystemStats`` for every architecture and
+CPU model — including with observability attached.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ckpt import (
+    SNAPSHOT_FORMAT,
+    CheckpointStore,
+    restore_system,
+    sanitize_key,
+    snapshot_system,
+)
+from repro.core.configs import config_for_scale
+from repro.core.experiment import run_one
+from repro.core.system import System
+from repro.errors import CheckpointError
+from repro.mem.functional import FunctionalMemory
+from repro.obs import ObsConfig
+from repro.workloads import WORKLOADS
+
+ARCHS = ("shared-l1", "shared-l2", "shared-mem")
+CPU_MODELS = ("mipsy", "mxs")
+CAP = 2_000_000
+
+
+def build_system(
+    arch: str,
+    cpu_model: str,
+    workload: str = "fft",
+    obs: ObsConfig | None = None,
+) -> System:
+    functional = FunctionalMemory()
+    wl = WORKLOADS[workload](4, functional, "test")
+    return System(
+        arch,
+        wl,
+        cpu_model=cpu_model,
+        mem_config=config_for_scale("test", 4),
+        max_cycles=CAP,
+        obs=obs,
+        checkpointing=True,
+    )
+
+
+def roundtrip(state: dict) -> dict:
+    """Force the snapshot through its JSON wire format."""
+    return json.loads(json.dumps(state))
+
+
+# ----------------------------------------------------------------------
+# The differential contract
+
+
+@pytest.mark.parametrize("cpu_model", CPU_MODELS)
+@pytest.mark.parametrize("arch", ARCHS)
+def test_checkpoint_resume_is_bit_identical(arch, cpu_model):
+    baseline_sys = build_system(arch, cpu_model)
+    baseline = baseline_sys.run().to_dict()
+    total = baseline_sys._cycle
+
+    partial = build_system(arch, cpu_model)
+    partial.run(pause_at=total // 2)
+    assert partial.paused
+    state = roundtrip(snapshot_system(partial))
+
+    fresh = build_system(arch, cpu_model)
+    restore_system(fresh, state)
+    assert fresh.run().to_dict() == baseline
+
+
+@pytest.mark.parametrize("cpu_model", CPU_MODELS)
+@pytest.mark.parametrize("arch", ("shared-l1", "shared-mem"))
+def test_checkpoint_resume_with_obs_is_bit_identical(arch, cpu_model):
+    def obs():
+        return ObsConfig(sample_interval=256, events=True)
+
+    baseline_sys = build_system(arch, cpu_model, obs=obs())
+    baseline = baseline_sys.run().to_dict()
+    total = baseline_sys._cycle
+
+    partial = build_system(arch, cpu_model, obs=obs())
+    partial.run(pause_at=total // 2)
+    state = roundtrip(snapshot_system(partial))
+
+    fresh = build_system(arch, cpu_model, obs=obs())
+    restore_system(fresh, state)
+    assert fresh.run().to_dict() == baseline
+    # The telemetry itself also survives: sampled utilization series
+    # and every registry counter match the uninterrupted run.
+    base_obs, res_obs = baseline_sys.obs, fresh.obs
+    assert res_obs.sampler.series == base_obs.sampler.series
+    assert res_obs.sampler.boundaries == base_obs.sampler.boundaries
+    assert {n: c.value for n, c in res_obs.registry.counters.items()} == {
+        n: c.value for n, c in base_obs.registry.counters.items()
+    }
+
+
+def test_chained_checkpoints_are_bit_identical():
+    baseline_sys = build_system("shared-l2", "mxs")
+    baseline = baseline_sys.run().to_dict()
+    total = baseline_sys._cycle
+
+    partial = build_system("shared-l2", "mxs")
+    partial.run(pause_at=total // 3)
+    first = roundtrip(snapshot_system(partial))
+
+    middle = build_system("shared-l2", "mxs")
+    restore_system(middle, first)
+    middle.run(pause_at=2 * total // 3)
+    assert middle.paused
+    second = roundtrip(snapshot_system(middle))
+
+    fresh = build_system("shared-l2", "mxs")
+    restore_system(fresh, second)
+    assert fresh.run().to_dict() == baseline
+
+
+def test_in_process_pause_resume_is_bit_identical():
+    baseline_sys = build_system("shared-mem", "mipsy")
+    baseline = baseline_sys.run().to_dict()
+    total = baseline_sys._cycle
+
+    partial = build_system("shared-mem", "mipsy")
+    partial.run(pause_at=total // 2)
+    assert partial.paused
+    assert partial.run().to_dict() == baseline
+
+
+def test_snapshot_is_deterministic():
+    def take():
+        system = build_system("shared-l1", "mipsy")
+        system.run(pause_at=800)
+        return json.dumps(snapshot_system(system), sort_keys=True)
+
+    assert take() == take()
+
+
+# ----------------------------------------------------------------------
+# Protocol errors
+
+
+def test_snapshot_requires_checkpointing_mode():
+    functional = FunctionalMemory()
+    wl = WORKLOADS["fft"](4, functional, "test")
+    system = System(
+        "shared-l1", wl, mem_config=config_for_scale("test", 4)
+    )
+    system.run(pause_at=500)
+    with pytest.raises(CheckpointError, match="checkpointing=True"):
+        snapshot_system(system)
+
+
+def test_snapshot_requires_paused_system():
+    system = build_system("shared-l1", "mipsy")
+    with pytest.raises(CheckpointError, match="not paused"):
+        snapshot_system(system)
+
+
+def test_restore_rejects_configuration_mismatch():
+    partial = build_system("shared-l1", "mipsy")
+    partial.run(pause_at=500)
+    state = snapshot_system(partial)
+
+    other_arch = build_system("shared-l2", "mipsy")
+    with pytest.raises(CheckpointError, match="mismatch on arch"):
+        restore_system(other_arch, state)
+
+    other_model = build_system("shared-l1", "mxs")
+    with pytest.raises(CheckpointError, match="mismatch on cpu_model"):
+        restore_system(other_model, state)
+
+    other_workload = build_system("shared-l1", "mipsy", workload="eqntott")
+    with pytest.raises(CheckpointError, match="mismatch on workload"):
+        restore_system(other_workload, state)
+
+
+def test_restore_rejects_obs_mismatch():
+    partial = build_system("shared-l1", "mipsy")
+    partial.run(pause_at=500)
+    state = snapshot_system(partial)
+    observed = build_system(
+        "shared-l1", "mipsy", obs=ObsConfig(sample_interval=256)
+    )
+    with pytest.raises(CheckpointError, match="observability"):
+        restore_system(observed, state)
+
+
+def test_restore_rejects_used_target():
+    partial = build_system("shared-l1", "mipsy")
+    partial.run(pause_at=500)
+    state = snapshot_system(partial)
+    used = build_system("shared-l1", "mipsy")
+    used.run(pause_at=100)
+    with pytest.raises(CheckpointError, match="already executed"):
+        restore_system(used, state)
+
+
+def test_restore_rejects_unknown_format():
+    partial = build_system("shared-l1", "mipsy")
+    partial.run(pause_at=500)
+    state = snapshot_system(partial)
+    state["meta"]["format"] = "repro.ckpt/999"
+    fresh = build_system("shared-l1", "mipsy")
+    with pytest.raises(CheckpointError, match="unsupported"):
+        restore_system(fresh, state)
+
+
+# ----------------------------------------------------------------------
+# The on-disk store
+
+
+def _snapshot_for_store() -> dict:
+    system = build_system("shared-l1", "mipsy")
+    system.run(pause_at=600)
+    return snapshot_system(system)
+
+
+def test_store_roundtrip_and_inspect(tmp_path):
+    store = CheckpointStore(tmp_path)
+    state = _snapshot_for_store()
+    digest = store.save(state)
+    assert store.load(digest) == roundtrip(state)
+    meta = store.inspect(digest)
+    assert meta["format"] == SNAPSHOT_FORMAT
+    assert meta["arch"] == "shared-l1"
+    assert meta["cycle"] >= 600
+    # Identical state deduplicates to the same blob.
+    assert store.save(state) == digest
+
+
+def test_store_detects_corruption(tmp_path):
+    store = CheckpointStore(tmp_path)
+    digest = store.save(_snapshot_for_store())
+    blob = tmp_path / digest[:2] / f"{digest}.json.gz"
+    import gzip
+
+    blob.write_bytes(gzip.compress(b'{"meta": {"tampered": true}}'))
+    with pytest.raises(CheckpointError, match="content hash"):
+        store.load(digest)
+
+
+def test_store_rejects_malformed_digest(tmp_path):
+    store = CheckpointStore(tmp_path)
+    with pytest.raises(CheckpointError, match="malformed"):
+        store.load("../../etc/passwd")
+    with pytest.raises(CheckpointError, match="no checkpoint blob"):
+        store.load("0" * 64)
+
+
+def test_store_latest_pointer_lifecycle(tmp_path):
+    store = CheckpointStore(tmp_path)
+    key = "fft/shared-l1/mipsy overrides=1"
+    assert store.latest(key) is None
+    digest = store.save(_snapshot_for_store(), key=key)
+    assert store.latest(key) == digest
+    store.clear_latest(key)
+    assert store.latest(key) is None
+    store.clear_latest(key)  # idempotent
+
+
+def test_sanitize_key_is_filename_safe():
+    assert "/" not in sanitize_key("fft/shared-l1:mipsy l2=4")
+    assert sanitize_key("abc_DEF-1.2=3") == "abc_DEF-1.2=3"
+
+
+# ----------------------------------------------------------------------
+# run_one integration
+
+
+def test_run_one_checkpoint_every_matches_uninterrupted(tmp_path):
+    base = run_one("shared-l2", WORKLOADS["fft"], max_cycles=CAP)
+    ck = run_one(
+        "shared-l2",
+        WORKLOADS["fft"],
+        max_cycles=CAP,
+        checkpoint_every=700,
+        checkpoint_dir=str(tmp_path),
+        checkpoint_key="fft-seg",
+    )
+    assert ck.stats.to_dict() == base.stats.to_dict()
+    assert ck.extras["checkpoint"]["saved"] > 0
+    # A completed job never resumes: its latest pointer is cleared.
+    assert CheckpointStore(tmp_path).latest("fft-seg") is None
+
+
+def test_run_one_resume_from_matches_uninterrupted(tmp_path):
+    base = run_one("shared-mem", WORKLOADS["fft"], cpu_model="mxs",
+                   max_cycles=CAP)
+    store = CheckpointStore(tmp_path)
+    partial = build_system("shared-mem", "mxs")
+    partial.run(pause_at=900)
+    digest = store.save(snapshot_system(partial))
+    resumed = run_one(
+        "shared-mem",
+        WORKLOADS["fft"],
+        cpu_model="mxs",
+        max_cycles=CAP,
+        checkpoint_dir=str(tmp_path),
+        resume_from=digest,
+    )
+    assert resumed.stats.to_dict() == base.stats.to_dict()
+    assert resumed.extras["checkpoint"]["resumed_from"] == digest

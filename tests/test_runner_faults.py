@@ -1,0 +1,277 @@
+"""Runner fault tolerance: crashes, timeouts, manifests, torn caches.
+
+The killing workload factories live in :mod:`tests.ckpt_helpers` (they
+must be module-level to pickle into pool workers) and must only run
+with ``jobs >= 2`` — under ``jobs=1`` they would SIGKILL the test
+process itself.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+import ckpt_helpers
+from repro.ckpt import CheckpointStore, snapshot_system
+from repro.core.configs import config_for_scale
+from repro.core.runner import BatchManifest, Job, ResultCache, Runner
+from repro.core.system import System
+from repro.errors import ConfigError
+from repro.mem.functional import FunctionalMemory
+from repro.workloads import WORKLOADS
+
+CAP = 2_000_000
+
+
+def normal_job(arch: str = "shared-l1") -> Job:
+    return Job(arch=arch, workload="fft", scale="test", max_cycles=CAP)
+
+
+# ----------------------------------------------------------------------
+# Worker crashes
+
+
+def test_worker_kill_is_retried_and_batch_completes(tmp_path, monkeypatch):
+    """A SIGKILLed worker must not abort the batch (the old behaviour
+    was an uncaught BrokenProcessPoolError killing Runner.run)."""
+    monkeypatch.setenv("REPRO_TEST_KILL_DIR", str(tmp_path))
+    batch = [
+        Job(
+            arch="shared-l1",
+            workload=ckpt_helpers.kill_once_workload,
+            scale="test",
+            max_cycles=CAP,
+        ),
+        normal_job("shared-l2"),
+        normal_job("shared-mem"),
+    ]
+    report = Runner(jobs=2).run(batch)
+    assert len(report.outcomes) == 3
+    assert not report.failures
+    assert report.worker_crashes >= 1
+    killer = report.outcomes[0]
+    assert killer.result is not None
+    assert killer.attempts >= 2
+    assert (tmp_path / "killed-once").exists()
+
+
+def test_poison_job_is_quarantined(tmp_path, monkeypatch):
+    """A job that crashes its worker on every attempt exhausts its
+    retry budget and is recorded as a failure, not retried forever."""
+    monkeypatch.setenv("REPRO_TEST_KILL_DIR", str(tmp_path))
+    batch = [
+        Job(
+            arch=arch,
+            workload=ckpt_helpers.kill_always_workload,
+            scale="test",
+            max_cycles=CAP,
+        )
+        for arch in ("shared-l1", "shared-l2")
+    ]
+    report = Runner(jobs=2, max_retries=1).run(batch)
+    assert len(report.failures) == 2
+    for outcome in report.outcomes:
+        assert outcome.result is None
+        assert not outcome.timed_out
+        assert "quarantined" in outcome.error
+        assert outcome.attempts == 2  # max_retries + 1
+    assert report.worker_crashes >= 2
+    assert "2 failed" in report.summary()
+    assert "worker crash" in report.summary()
+
+
+# ----------------------------------------------------------------------
+# Wall-clock timeouts
+
+
+def test_timeout_serial(monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_SLEEP", "10")
+    job = Job(
+        arch="shared-l1",
+        workload=ckpt_helpers.sleepy_workload,
+        scale="test",
+        max_cycles=CAP,
+        timeout_s=0.3,
+    )
+    report = Runner(jobs=1).run([job])
+    outcome = report.outcomes[0]
+    assert outcome.timed_out
+    assert outcome.result is None
+    assert "budget" in outcome.error
+    assert "1 failed (1 timed out)" in report.summary()
+    per_job = report.to_dict()["per_job"][0]
+    assert per_job["timed_out"] is True
+    assert per_job["cycles"] is None
+
+
+def test_timeout_parallel(monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_SLEEP", "10")
+    batch = [
+        Job(
+            arch=arch,
+            workload=ckpt_helpers.sleepy_workload,
+            scale="test",
+            max_cycles=CAP,
+            timeout_s=0.3,
+        )
+        for arch in ("shared-l1", "shared-mem")
+    ]
+    report = Runner(jobs=2).run(batch)
+    assert all(o.timed_out for o in report.outcomes)
+    assert report.worker_crashes == 0
+    assert "(2 timed out)" in report.summary()
+
+
+def test_parallel_failure_is_recorded_not_raised():
+    batch = [
+        Job(arch="shared-l1", workload="no-such-workload", scale="test"),
+        normal_job("shared-l2"),
+    ]
+    report = Runner(jobs=2).run(batch)
+    bad, good = report.outcomes
+    assert bad.result is None and not bad.timed_out
+    assert "ConfigError" in bad.error
+    assert good.result is not None
+
+
+def test_serial_failure_still_raises():
+    # The historical serial contract: exceptions propagate to the
+    # caller (breakpoint-friendly), they are not swallowed.
+    with pytest.raises(ConfigError):
+        Runner(jobs=1).run(
+            [Job(arch="shared-l1", workload="no-such-workload")]
+        )
+
+
+# ----------------------------------------------------------------------
+# Execution policy is not simulation identity
+
+
+def test_policy_fields_do_not_change_job_key(tmp_path):
+    plain = normal_job()
+    babysat = Job(
+        arch=plain.arch,
+        workload=plain.workload,
+        scale=plain.scale,
+        max_cycles=plain.max_cycles,
+        timeout_s=120.0,
+        ckpt_every=50_000,
+        ckpt_dir=str(tmp_path),
+    )
+    assert plain.key() == babysat.key()
+    assert "timeout_s" not in plain.spec()
+    assert "ckpt_every" not in plain.spec()
+
+
+def test_job_auto_resumes_from_latest_checkpoint(tmp_path):
+    baseline = normal_job().run()
+    job = Job(
+        arch="shared-l1",
+        workload="fft",
+        scale="test",
+        max_cycles=CAP,
+        ckpt_every=700,
+        ckpt_dir=str(tmp_path),
+    )
+    # Simulate a crashed earlier attempt: a checkpoint saved mid-run
+    # under this job's key, with the latest pointer still set.
+    partial = System(
+        "shared-l1",
+        WORKLOADS["fft"](4, FunctionalMemory(), "test"),
+        mem_config=config_for_scale("test", 4),
+        max_cycles=CAP,
+        checkpointing=True,
+    )
+    partial.run(pause_at=900)
+    store = CheckpointStore(tmp_path)
+    digest = store.save(snapshot_system(partial), key=job.key())
+
+    resumed = job.run()
+    assert resumed.stats.to_dict() == baseline.stats.to_dict()
+    assert resumed.extras["checkpoint"]["resumed_from"] == digest
+    # Completion clears the pointer, so the next run starts fresh.
+    assert store.latest(job.key()) is None
+
+
+# ----------------------------------------------------------------------
+# Batch manifest
+
+
+def test_manifest_resume_skips_completed_jobs(tmp_path):
+    path = tmp_path / "manifest.json"
+    batch = [normal_job("shared-l1"), normal_job("shared-mem")]
+    first = Runner(jobs=1, manifest=BatchManifest(path)).run(batch)
+    assert not first.failures
+    assert len(BatchManifest(path)) == 2
+
+    lines = []
+    second = Runner(
+        jobs=1,
+        manifest=BatchManifest(path),
+        progress=lines.append,
+    ).run(batch)
+    assert second.cache_hits == 2
+    assert all(o.cached for o in second.outcomes)
+    assert all(line.startswith("[manifest]") for line in lines)
+    # Skipped jobs still carry full results for figure rendering.
+    assert second.outcomes[0].result.stats.to_dict() == \
+        first.outcomes[0].result.stats.to_dict()
+
+
+def test_manifest_does_not_record_failures(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_SLEEP", "10")
+    path = tmp_path / "manifest.json"
+    job = Job(
+        arch="shared-l1",
+        workload=ckpt_helpers.sleepy_workload,
+        scale="test",
+        max_cycles=CAP,
+        timeout_s=0.3,
+    )
+    report = Runner(jobs=1, manifest=BatchManifest(path)).run([job])
+    assert report.outcomes[0].timed_out
+    assert len(BatchManifest(path)) == 0
+
+
+def test_manifest_tolerates_garbage_file(tmp_path):
+    path = tmp_path / "manifest.json"
+    path.write_text("{not json")
+    manifest = BatchManifest(path)
+    assert len(manifest) == 0
+    job = normal_job()
+    report = Runner(jobs=1, manifest=manifest).run([job])
+    assert not report.failures
+    payload = json.loads(path.read_text())
+    assert job.key() in payload["jobs"]
+
+
+# ----------------------------------------------------------------------
+# ResultCache under concurrent writers
+
+
+def test_result_cache_concurrent_writers_never_tear(tmp_path):
+    """Several processes hammering the same cache key must only ever
+    observe complete entries (atomic tmp+rename), never torn JSON."""
+    n_procs, rounds = 4, 40
+    with ProcessPoolExecutor(max_workers=n_procs) as pool:
+        futures = [
+            pool.submit(
+                ckpt_helpers.cache_stress_worker, str(tmp_path), rounds
+            )
+            for _ in range(n_procs)
+        ]
+        reads = [future.result(timeout=120) for future in futures]
+    # Every worker's asserts passed; most reads should have succeeded.
+    assert sum(reads) > 0
+    # The final on-disk entry is complete, parseable JSON.
+    cache = ResultCache(tmp_path)
+    job = Job(arch="shared-l1", workload="ear", scale="test")
+    payload = json.loads(cache.path_for(job).read_text())
+    assert payload["key"] == job.key()
+    final = cache.get(job)
+    assert final is not None
+    assert final.stats.cycles >= 1000
+    # No leftover temp files from interrupted writers.
+    assert not list(tmp_path.rglob("*.tmp"))
