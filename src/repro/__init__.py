@@ -14,7 +14,9 @@ The public surface:
   classes for writing new ones;
 * :mod:`repro.cpu` — the Mipsy (simple) and MXS (dynamic superscalar)
   CPU models;
-* :mod:`repro.mem` — the three memory architectures and their
+* :mod:`repro.mem` — composable machine topologies
+  (:mod:`repro.mem.topology`): the paper's three architectures plus
+  the scenario presets, all built from declarative specs, and their
   building blocks;
 * :mod:`repro.sync` — LL/SC locks, barriers and task queues;
 * :mod:`repro.trace` — trace capture and replay (trace-driven mode).
@@ -28,6 +30,6 @@ Quickstart::
     print(normalized_times(results))
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = ["__version__"]

@@ -34,7 +34,7 @@ from repro.mem.bank import BankedResource, Resource
 from repro.mem.bus import SnoopyBus
 from repro.mem.cache import CacheArray, CacheLine, LineState
 from repro.mem.coherence.directory import Directory
-from repro.mem.crossbar import Crossbar
+from repro.mem.crossbar import Crossbar, MultistageCrossbar
 from repro.mem.mainmem import MainMemory
 from repro.mem.writebuffer import WriteBuffer
 from repro.sim.stats import CacheStats, CycleBreakdown, MxsStats
@@ -46,7 +46,7 @@ SNAPSHOT_FORMAT = "repro.ckpt/1"
 #: is immutable input, ``stats`` restores through ``SystemStats``,
 #: ``obs`` restores through the observation block, and the snoop
 #: controller holds only references to caches serialized elsewhere.
-_SKIP_MEMORY_ATTRS = frozenset({"config", "stats", "obs", "snoop"})
+_SKIP_MEMORY_ATTRS = frozenset({"config", "stats", "obs", "snoop", "topology"})
 
 _MXS_STATS_FIELDS = (
     "cycles",
@@ -152,6 +152,16 @@ def _encode_component(value):
             "ports": [_encode_resource(port) for port in value.ports],
             "wait_cycles": value.wait_cycles,
         }
+    if isinstance(value, MultistageCrossbar):
+        return {
+            "banks": _encode_component(value.banks),
+            "ports": [_encode_resource(port) for port in value.ports],
+            "switches": [
+                [_encode_resource(switch) for switch in column]
+                for column in value.switches
+            ],
+            "wait_cycles": value.wait_cycles,
+        }
     if isinstance(value, BankedResource):
         return [_encode_resource(bank) for bank in value.banks]
     if isinstance(value, Resource):
@@ -184,6 +194,10 @@ def _encode_component(value):
             "upgrades": value.upgrades,
             "writebacks": value.writebacks,
         }
+    if isinstance(value, int):
+        # Immutable config-derived constants (latencies, occupancies):
+        # recorded so a restore can verify the target's geometry.
+        return value
     raise CheckpointError(
         f"cannot checkpoint memory component of type {type(value).__name__}"
     )
@@ -233,6 +247,21 @@ def _restore_component(value, data) -> None:
             _restore_resource(port, port_data)
         value.wait_cycles = data["wait_cycles"]
         return
+    if isinstance(value, MultistageCrossbar):
+        _restore_component(value.banks, data["banks"])
+        for port, port_data in zip(value.ports, data["ports"]):
+            _restore_resource(port, port_data)
+        columns = data["switches"]
+        if len(columns) != len(value.switches):
+            raise CheckpointError(
+                f"interconnect stage mismatch: {len(value.switches)} live "
+                f"vs {len(columns)} checkpointed"
+            )
+        for column, column_data in zip(value.switches, columns):
+            for switch, switch_data in zip(column, column_data):
+                _restore_resource(switch, switch_data)
+        value.wait_cycles = data["wait_cycles"]
+        return
     if isinstance(value, BankedResource):
         for bank, bank_data in zip(value.banks, data):
             _restore_resource(bank, bank_data)
@@ -261,6 +290,13 @@ def _restore_component(value, data) -> None:
         value.c2c_transfers = data["c2c_transfers"]
         value.upgrades = data["upgrades"]
         value.writebacks = data["writebacks"]
+        return
+    if isinstance(value, int):
+        if value != data:
+            raise CheckpointError(
+                f"memory constant mismatch: {value} live vs "
+                f"{data} checkpointed"
+            )
         return
     raise CheckpointError(
         f"cannot restore memory component of type {type(value).__name__}"

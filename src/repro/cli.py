@@ -3,19 +3,31 @@
 Subcommands::
 
     python -m repro list
-        Show the available workloads, architectures, scales and models.
+        Show the available workloads, topology presets, scales and
+        models.
 
     python -m repro run --workload eqntott --arch shared-l1
         Run one simulation and print its statistics (breakdown, miss
-        rates, synchronization traffic).
+        rates, synchronization traffic). ``--topology`` is an alias
+        for ``--arch``: any registered topology preset is accepted
+        (``cluster-l1``, ``shared-l3``, ... — see ``repro list``), and
+        ``--cpus`` defaults to the preset's natural core count.
 
     python -m repro compare --workload ear --scale bench [--svg out.svg]
-        Run the architecture matrix for one workload and print the
+        Run a topology matrix for one workload and print the
         paper-style breakdown, miss-rate table, resource utilization
         and a bar chart; optionally render the figure as SVG.
+        ``--archs`` selects the topologies (default: the paper's
+        three).
 
     python -m repro sweep --workload mp3d --field l2_assoc 1 2 4
-        Sweep one MemConfig field on every architecture.
+        Sweep one MemConfig field on every paper architecture.
+
+    python -m repro scaling --workload fft --archs cluster-l1 \
+            --counts 4 8 16 [--svg out.svg]
+        Run topologies across several core counts and print the
+        cycles/speedup table; optionally render the paper-style
+        cycles-versus-cores figure as SVG.
 
 ``run``, ``compare`` and ``sweep`` accept ``--jobs N`` to execute the
 underlying simulations in N worker processes, and cache results
@@ -70,7 +82,8 @@ import sys
 from repro.core.configs import ARCHITECTURES, CPU_MODELS
 from repro.core.experiment import run_architecture_comparison
 from repro.core.runner import Job, ResultCache, Runner, default_cache_dir
-from repro.core.sweeps import sweep_mem_field
+from repro.core.sweeps import sweep_cpu_count, sweep_mem_field, speedup_table
+from repro.mem.topology import get_preset, topology_names
 from repro.core.report import (
     format_bar_chart,
     format_breakdown_table,
@@ -99,7 +112,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="CPU model (mipsy=simple in-order, mxs=dynamic superscalar)",
     )
     parser.add_argument(
-        "--cpus", "-n", type=int, default=4, help="number of processors"
+        "--cpus", "-n", type=int, default=None,
+        help="number of processors (default: the topology preset's "
+             "natural core count, 4 for the paper's three)",
     )
     parser.add_argument(
         "--max-cycles", type=int, default=50_000_000,
@@ -144,13 +159,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="show workloads, architectures and presets")
+    sub.add_parser(
+        "list", help="show workloads, topology presets and scales"
+    )
 
-    run_p = sub.add_parser("run", help="run one (arch, workload) simulation")
+    run_p = sub.add_parser(
+        "run", help="run one (topology, workload) simulation"
+    )
     _add_common(run_p)
     run_p.add_argument(
-        "--arch", "-a", required=True, choices=ARCHITECTURES,
-        help="memory architecture",
+        "--arch", "-a", "--topology", required=True,
+        choices=topology_names(),
+        help="memory-system topology preset (--topology is an alias)",
     )
     run_p.add_argument(
         "--set", dest="overrides", type=_parse_override, action="append",
@@ -198,9 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     cmp_p = sub.add_parser(
-        "compare", help="run all three architectures and compare"
+        "compare", help="run a topology matrix and compare"
     )
     _add_common(cmp_p)
+    cmp_p.add_argument(
+        "--archs", "--topologies", nargs="+", choices=topology_names(),
+        default=list(ARCHITECTURES), metavar="PRESET",
+        help="topology presets to compare (default: the paper's three; "
+             f"choose from {', '.join(topology_names())})",
+    )
     cmp_p.add_argument(
         "--set", dest="overrides", type=_parse_override, action="append",
         default=[], metavar="FIELD=VALUE",
@@ -226,6 +252,26 @@ def build_parser() -> argparse.ArgumentParser:
         "values", nargs="+", type=int, help="values to sweep over"
     )
 
+    scaling_p = sub.add_parser(
+        "scaling",
+        help="run topologies across core counts (cycles vs cores)",
+    )
+    _add_common(scaling_p)
+    scaling_p.add_argument(
+        "--archs", "--topologies", nargs="+", choices=topology_names(),
+        default=list(ARCHITECTURES), metavar="PRESET",
+        help="topology presets to scale (default: the paper's three; "
+             f"choose from {', '.join(topology_names())})",
+    )
+    scaling_p.add_argument(
+        "--counts", nargs="+", type=int, default=[2, 4, 8, 16],
+        metavar="N", help="core counts to run (default: 2 4 8 16)",
+    )
+    scaling_p.add_argument(
+        "--svg", metavar="PATH",
+        help="also render the cycles-versus-cores figure as an SVG",
+    )
+
     sub.add_parser(
         "selfcheck",
         help="run the fast invariant battery (seconds; for CI)",
@@ -242,12 +288,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", "-w", required=True, choices=sorted(WORKLOADS)
     )
     ckpt_save_p.add_argument(
-        "--arch", "-a", required=True, choices=ARCHITECTURES
+        "--arch", "-a", "--topology", required=True,
+        choices=topology_names(),
     )
     ckpt_save_p.add_argument(
         "--cpu", "-c", default="mipsy", choices=CPU_MODELS
     )
-    ckpt_save_p.add_argument("--cpus", "-n", type=int, default=4)
+    ckpt_save_p.add_argument("--cpus", "-n", type=int, default=None)
     ckpt_save_p.add_argument(
         "--scale", "-s", default="test", choices=_SCALES
     )
@@ -295,8 +342,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(report_p)
     report_p.add_argument(
-        "--arch", "-a", required=True, choices=ARCHITECTURES,
-        help="memory architecture",
+        "--arch", "-a", "--topology", required=True,
+        choices=topology_names(),
+        help="memory-system topology preset (--topology is an alias)",
     )
     report_p.add_argument(
         "--set", dest="overrides", type=_parse_override, action="append",
@@ -327,6 +375,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", "-w", required=True, choices=sorted(WORKLOADS)
     )
     trace_p.add_argument("--scale", "-s", default="test", choices=_SCALES)
+    trace_p.add_argument(
+        "--cpus", "-n", type=int, default=4,
+        help="number of processors the workload is built for",
+    )
     trace_p.add_argument("--cpu", type=int, default=0, help="which CPU")
     trace_p.add_argument(
         "--limit", type=int, default=60, help="instructions to print"
@@ -345,12 +397,24 @@ def _runner_for(args: argparse.Namespace) -> Runner:
     return Runner(jobs=args.jobs, cache=cache)
 
 
+def _default_cpus(args: argparse.Namespace) -> int:
+    """``--cpus``, defaulting to the selected preset's core count."""
+    if args.cpus is not None:
+        return args.cpus
+    return get_preset(args.arch).default_cpus
+
+
 def _cmd_list() -> int:
     print("workloads:")
     for name in sorted(WORKLOADS):
         doc = (WORKLOADS[name].__module__ or "").split(".")[-1]
         print(f"  {name:<10} (repro.workloads.{doc})")
-    print(f"architectures: {', '.join(ARCHITECTURES)}")
+    print("topologies:")
+    for name in topology_names():
+        preset = get_preset(name)
+        paper = "paper" if name in ARCHITECTURES else "extra"
+        print(f"  {name:<12} [{preset.kind}, {preset.default_cpus} "
+              f"cpus, {paper}] {preset.description}")
     print(f"cpu models:    {', '.join(CPU_MODELS)}")
     print(f"scales:        {', '.join(_SCALES)}")
     return 0
@@ -370,7 +434,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workload=args.workload,
         cpu_model=args.cpu,
         scale=args.scale,
-        n_cpus=args.cpus,
+        n_cpus=_default_cpus(args),
         overrides=dict(args.overrides),
         max_cycles=args.max_cycles,
         obs_sample=args.sample_interval or 0,
@@ -482,7 +546,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             args.workload,
             cpu_model=args.cpu,
             scale=args.scale,
-            n_cpus=args.cpus,
+            n_cpus=args.cpus if args.cpus is not None else 4,
+            archs=tuple(args.archs),
             max_cycles=args.max_cycles,
             mem_config_overrides=dict(args.overrides) or None,
             runner=runner,
@@ -491,7 +556,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     title = f"{args.workload} ({args.cpu}, {args.scale} scale)"
-    print(format_breakdown_table(results, title=title))
+    # Normalize to the paper's shared-memory baseline when it is part
+    # of the matrix; otherwise to the first topology requested.
+    baseline = (
+        "shared-mem" if "shared-mem" in results else next(iter(results))
+    )
+    print(format_breakdown_table(results, baseline=baseline, title=title))
     print()
     print(format_miss_rate_table(results))
     if args.cpu == "mxs":
@@ -500,12 +570,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print()
     print(format_resource_table(results, title="resource utilization"))
     print()
-    print(format_bar_chart(normalized_times(results),
+    print(format_bar_chart(normalized_times(results, baseline=baseline),
                            title="normalized execution time"))
     if args.svg:
         from repro.core.figures import render_comparison_figure
 
-        render_comparison_figure(results, title, args.svg)
+        render_comparison_figure(results, title, args.svg,
+                                 baseline=baseline)
         print(f"figure written to {args.svg}")
     if args.claims:
         from repro.core.paper import (
@@ -544,7 +615,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             args.values,
             cpu_model=args.cpu,
             scale=args.scale,
-            n_cpus=args.cpus,
+            n_cpus=args.cpus if args.cpus is not None else 4,
             max_cycles=args.max_cycles,
             runner=runner,
         )
@@ -563,6 +634,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for arch in ARCHITECTURES:
             row += f"{sweep.cycles(value, arch):>13}"
         print(row)
+    if runner.last_report is not None:
+        print(f"runner: {runner.last_report.summary()}")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    counts = sorted(set(args.counts))
+    print(f"scaling {', '.join(args.archs)} over {counts} cores "
+          f"({args.workload}, {args.cpu}, {args.scale} scale)")
+    try:
+        runner = _runner_for(args)
+        table = sweep_cpu_count(
+            args.workload,
+            counts=counts,
+            cpu_model=args.cpu,
+            scale=args.scale,
+            archs=tuple(args.archs),
+            max_cycles=args.max_cycles,
+            runner=runner,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    header = f"{'cores':>12}" + "".join(
+        f"{arch:>13}" for arch in args.archs
+    )
+    print(header)
+    print("-" * len(header))
+    for count in counts:
+        row = f"{count:>12}"
+        for arch in args.archs:
+            row += f"{table[arch][count].cycles:>13}"
+        print(row)
+    speedups = speedup_table(table)
+    print(f"{'speedup':>12}" + "".join(
+        f"{speedups[arch][counts[-1]]:>12.2f}x" for arch in args.archs
+    ))
+    if args.svg:
+        from repro.core.figures import render_scaling_svg
+
+        title = (f"{args.workload} scaling "
+                 f"({args.cpu}, {args.scale} scale)")
+        render_scaling_svg(table, title, args.svg)
+        print(f"figure written to {args.svg}")
     if runner.last_report is not None:
         print(f"runner: {runner.last_report.summary()}")
     return 0
@@ -587,7 +702,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             args.arch,
             cpu_model=args.cpu,
             scale=args.scale,
-            n_cpus=args.cpus,
+            n_cpus=_default_cpus(args),
             sample_interval=args.sample_interval,
             events_path=args.events,
             max_cycles=args.max_cycles,
@@ -661,7 +776,7 @@ def _cmd_ckpt(args: argparse.Namespace) -> int:
         if args.ckpt_command == "save":
             overrides = dict(args.overrides)
             system = _build_ckpt_system(
-                args.workload, args.arch, args.cpu, args.cpus,
+                args.workload, args.arch, args.cpu, _default_cpus(args),
                 args.scale, overrides=overrides,
             )
             system.run(pause_at=args.at)
@@ -706,9 +821,18 @@ def _cmd_ckpt(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.mem.functional import FunctionalMemory
 
-    workload = WORKLOADS[args.workload](4, FunctionalMemory(), args.scale)
+    if not 0 <= args.cpu < args.cpus:
+        print(
+            f"error: --cpu {args.cpu} out of range for {args.cpus} CPUs",
+            file=sys.stderr,
+        )
+        return 2
+    workload = WORKLOADS[args.workload](
+        args.cpus, FunctionalMemory(), args.scale
+    )
     program = workload.program(args.cpu)
-    print(f"# {args.workload} cpu {args.cpu} ({args.scale} scale), "
+    print(f"# {args.workload} cpu {args.cpu} of {args.cpus} "
+          f"({args.scale} scale), "
           f"first {args.limit} instructions")
     print(f"{'#':>5} {'pc':>10} {'op':<8} {'operand':<14} {'deps'}")
     value = None
@@ -747,6 +871,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "scaling":
+        return _cmd_scaling(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "obs":

@@ -1,4 +1,4 @@
-"""Architecture presets (paper Table 2) and CPU parameters (Section 2.1).
+"""Scale presets (paper Table 2) and CPU parameters (Section 2.1).
 
 Three scales are provided (see DESIGN.md Section 5):
 
@@ -9,6 +9,11 @@ Three scales are provided (see DESIGN.md Section 5):
 
 Latencies and occupancies are never scaled; they are the design points
 under study.
+
+Architecture selection is delegated to the topology registry
+(:mod:`repro.mem.topology`): :func:`build_memory` resolves a preset
+name (or an explicit :class:`~repro.mem.topology.Topology`) against
+the memory config and hands the spec to the registered builder.
 """
 
 from __future__ import annotations
@@ -17,22 +22,21 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.mem.hierarchy import MemConfig, MemorySystem
-from repro.mem.shared_l1 import SharedL1System
-from repro.mem.shared_l2 import SharedL2System
-from repro.mem.shared_mem import SharedMemorySystem
+from repro.mem.topology import (
+    PAPER_TOPOLOGIES,
+    Topology,
+    build_topology,
+    resolve_topology,
+)
 from repro.sim.stats import SystemStats
 
-#: The three architectures of the paper, in its presentation order.
-ARCHITECTURES = ("shared-l1", "shared-l2", "shared-mem")
+#: The three architectures of the paper, in its presentation order
+#: (the paper-reproduction pipeline iterates these; ``repro list``
+#: enumerates every registered preset).
+ARCHITECTURES = PAPER_TOPOLOGIES
 
 #: The two CPU models.
 CPU_MODELS = ("mipsy", "mxs")
-
-_SYSTEMS = {
-    "shared-l1": SharedL1System,
-    "shared-l2": SharedL2System,
-    "shared-mem": SharedMemorySystem,
-}
 
 
 @dataclass
@@ -88,13 +92,8 @@ def config_for_scale(scale: str, n_cpus: int = 4, **overrides) -> MemConfig:
 
 
 def build_memory(
-    arch: str, config: MemConfig, stats: SystemStats
+    arch: "str | Topology", config: MemConfig, stats: SystemStats
 ) -> MemorySystem:
-    """Instantiate the memory system for an architecture name."""
-    try:
-        system_cls = _SYSTEMS[arch]
-    except KeyError:
-        raise ConfigError(
-            f"unknown architecture {arch!r}; expected one of {ARCHITECTURES}"
-        ) from None
-    return system_cls(config, stats)
+    """Instantiate the memory system for a topology preset or spec."""
+    topology = resolve_topology(arch, config)
+    return build_topology(topology, config, stats)

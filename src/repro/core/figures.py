@@ -8,6 +8,9 @@ Two renderers, matching the paper's two figure styles:
 * :func:`render_ipc_svg` — Figure 11: stacked bars of achieved IPC
   plus IPC lost to instruction-cache, data-cache and pipeline stalls,
   reaching up to the machine's ideal width.
+* :func:`render_scaling_svg` — paper-style scaling study: cycles
+  versus core count, one line per topology, from a
+  :func:`~repro.core.sweeps.sweep_cpu_count` result.
 
 Pure-string SVG, no dependencies; the output opens in any browser.
 """
@@ -190,15 +193,154 @@ def render_ipc_svg(
     return svg
 
 
+#: line colours for scaling figures, cycled per topology.
+_SCALING_COLOURS = (
+    "#4878a8", "#c4502e", "#3c8c50", "#d88a3c", "#8c2d1e", "#7a7a7a",
+)
+
+_SCALING_PLOT_W = 420
+_SCALING_PLOT_H = 260
+_SCALING_MARGIN_L = 80
+_SCALING_MARGIN_B = 46
+
+
+def render_scaling_svg(
+    results: "dict[str, dict[int, ExperimentResult]]",
+    title: str,
+    path: str | Path | None = None,
+) -> str:
+    """Cycles-versus-core-count line chart, one line per topology.
+
+    ``results`` is the ``{topology: {n_cpus: result}}`` table produced
+    by :func:`~repro.core.sweeps.sweep_cpu_count`. Core counts sit on
+    a log2 x-axis (scaling studies double the core count per point);
+    the y-axis is linear in cycles, from zero.
+    """
+    if not results:
+        raise ReproError("no results to render")
+    counts = sorted({n for series in results.values() for n in series})
+    if not counts:
+        raise ReproError("no CPU counts to render")
+    peak = max(
+        result.cycles
+        for series in results.values()
+        for result in series.values()
+    )
+    if peak <= 0:
+        raise ReproError("no cycles to render")
+
+    def x_at(n_cpus: int) -> float:
+        lo, hi = counts[0].bit_length(), counts[-1].bit_length()
+        span = max(hi - lo, 1)
+        return (
+            _SCALING_MARGIN_L
+            + (n_cpus.bit_length() - lo) / span * _SCALING_PLOT_W
+        )
+
+    def y_at(cycles: int) -> float:
+        return (
+            _TITLE_HEIGHT
+            + _SCALING_PLOT_H
+            - cycles / peak * _SCALING_PLOT_H
+        )
+
+    width = _SCALING_MARGIN_L + _SCALING_PLOT_W + 40
+    height = (
+        _TITLE_HEIGHT + _SCALING_PLOT_H + _SCALING_MARGIN_B
+        + _LEGEND_HEIGHT
+    )
+    parts = _svg_header(width, height, title)
+
+    # Axes and gridlines.
+    y0, y1 = _TITLE_HEIGHT, _TITLE_HEIGHT + _SCALING_PLOT_H
+    parts.append(
+        f'<line x1="{_SCALING_MARGIN_L}" y1="{y0}" '
+        f'x2="{_SCALING_MARGIN_L}" y2="{y1}" stroke="#404040"/>'
+    )
+    parts.append(
+        f'<line x1="{_SCALING_MARGIN_L}" y1="{y1}" '
+        f'x2="{_SCALING_MARGIN_L + _SCALING_PLOT_W}" y2="{y1}" '
+        'stroke="#404040"/>'
+    )
+    for n_cpus in counts:
+        x = x_at(n_cpus)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{y1}" x2="{x:.1f}" y2="{y1 + 5}" '
+            'stroke="#404040"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{y1 + 20}" text-anchor="middle">'
+            f"{n_cpus}</text>"
+        )
+    for frac in (0.25, 0.5, 0.75, 1.0):
+        y = y_at(int(peak * frac))
+        parts.append(
+            f'<line x1="{_SCALING_MARGIN_L}" y1="{y:.1f}" '
+            f'x2="{_SCALING_MARGIN_L + _SCALING_PLOT_W}" y2="{y:.1f}" '
+            'stroke="#d8d8d8"/>'
+        )
+        parts.append(
+            f'<text x="{_SCALING_MARGIN_L - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{int(peak * frac):,}</text>'
+        )
+    parts.append(
+        f'<text x="{_SCALING_MARGIN_L + _SCALING_PLOT_W / 2}" '
+        f'y="{y1 + 38}" text-anchor="middle">cores</text>'
+    )
+
+    # One polyline (plus point markers) per topology.
+    legend = []
+    for index, (name, series) in enumerate(results.items()):
+        colour = _SCALING_COLOURS[index % len(_SCALING_COLOURS)]
+        points = " ".join(
+            f"{x_at(n):.1f},{y_at(series[n].cycles):.1f}"
+            for n in sorted(series)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" '
+            f'stroke="{colour}" stroke-width="2"/>'
+        )
+        for n in sorted(series):
+            parts.append(
+                f'<circle cx="{x_at(n):.1f}" '
+                f'cy="{y_at(series[n].cycles):.1f}" r="3.5" '
+                f'fill="{colour}">'
+                f"<title>{name} @ {n} cores: "
+                f"{series[n].cycles:,} cycles</title></circle>"
+            )
+        legend.append((name, name, colour))
+
+    parts.extend(
+        _legend(legend, y1 + _SCALING_MARGIN_B, width)
+    )
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
 def render_comparison_figure(
     results: dict[str, ExperimentResult],
     title: str,
     path: str | Path | None = None,
+    baseline: str | None = None,
 ) -> str:
-    """Pick the right renderer for the results' CPU model."""
+    """Pick the right renderer for the results' CPU model.
+
+    ``baseline`` names the result the breakdown figure normalizes to;
+    by default the paper's shared-memory machine when present,
+    otherwise the first result (topology matrices need not include
+    the paper presets at all).
+    """
     has_mxs = any(
         m.cycles for result in results.values() for m in result.stats.mxs
     )
     if has_mxs:
         return render_ipc_svg(results, title, path)
-    return render_breakdown_svg(results, title, path)
+    if baseline is None:
+        baseline = (
+            "shared-mem" if "shared-mem" in results
+            else next(iter(results))
+        )
+    return render_breakdown_svg(results, title, path, baseline=baseline)

@@ -149,10 +149,29 @@ class Job:
             )
         return text
 
+    def resolve_topology(self):
+        """The concrete :class:`~repro.mem.topology.Topology` this job
+        simulates (preset resolved against the scaled config)."""
+        from repro.core.configs import config_for_scale
+        from repro.mem.topology import resolve_topology
+
+        config = config_for_scale(self.scale, self.n_cpus)
+        if self.overrides:
+            config = config.with_overrides(**self.overrides)
+        return resolve_topology(self.arch, config)
+
     def spec(self) -> dict:
-        """The canonical JSON-serializable description of this job."""
+        """The canonical JSON-serializable description of this job.
+
+        The resolved topology is part of the spec: a 16-core
+        ``cluster-l1`` run and a 4-core one describe different
+        machines, so they can never share a cache entry even though
+        the preset name matches.
+        """
+        topology = self.resolve_topology()
         return {
-            "arch": self.arch,
+            "arch": topology.name,
+            "topology": topology.to_dict(),
             "workload": self.workload_key(),
             "cpu_model": self.cpu_model,
             "scale": self.scale,

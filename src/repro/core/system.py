@@ -12,6 +12,7 @@ actually executed.
 from __future__ import annotations
 
 from repro.core.configs import CpuParams, build_memory
+from repro.mem.topology import resolve_topology
 from repro.cpu.mipsy import MipsyCpu
 from repro.cpu.mxs import MxsCpu
 from repro.errors import ConfigError, DeadlockError
@@ -32,7 +33,7 @@ class System:
 
     def __init__(
         self,
-        arch: str,
+        arch,
         workload: Workload,
         cpu_model: str = "mipsy",
         mem_config: MemConfig | None = None,
@@ -42,7 +43,6 @@ class System:
         obs: "ObsConfig | None" = None,
         checkpointing: bool = False,
     ) -> None:
-        self.arch = arch
         self.workload = workload
         self.cpu_model = cpu_model
         config = mem_config if mem_config is not None else MemConfig()
@@ -51,6 +51,11 @@ class System:
                 f"memory config has {config.n_cpus} CPUs but the workload "
                 f"was built for {workload.n_cpus}"
             )
+        # ``arch`` is a topology preset name or an explicit Topology;
+        # the resolved spec is the system's architectural identity
+        # (reports, cache keys, snapshot metadata).
+        self.topology = resolve_topology(arch, config)
+        self.arch = self.topology.name
         if obs is not None and config.l1_fast_path:
             # Observability rides the general access path only; the
             # L1-hit fast lane stays untouched (and therefore fast) for
@@ -71,7 +76,7 @@ class System:
         self.config = config
         self.stats = SystemStats.for_cpus(config.n_cpus)
         self.functional = workload.functional
-        self.memory = build_memory(arch, config, self.stats)
+        self.memory = build_memory(self.topology, config, self.stats)
         self.engine = Engine()
         self.max_cycles = max_cycles
         self.deadlock_horizon = deadlock_horizon

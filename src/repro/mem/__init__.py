@@ -1,16 +1,28 @@
-"""Memory-system models for the three multiprocessor architectures.
+"""Memory-system models, composed from declarative topology specs.
 
 The package provides the building blocks (cache arrays, banked
 resources, buses, crossbars, main memory, coherence engines, the timed
-functional memory used for synchronization) and one complete memory
-system per architecture studied in the paper:
+functional memory used for synchronization), the :class:`Topology`
+spec language plus its preset/builder registries
+(:mod:`repro.mem.topology`), and one complete memory system per
+registered topology kind:
 
-* :class:`~repro.mem.shared_l1.SharedL1System` — four CPUs share a
-  banked write-back L1 data cache through a crossbar;
+* :class:`~repro.mem.shared_l1.SharedL1System` — CPUs share a banked
+  write-back L1 data cache through a crossbar (paper Section 2.2);
 * :class:`~repro.mem.shared_l2.SharedL2System` — private write-through
-  L1s over a shared, banked write-back L2 with directory invalidation;
+  L1s over a shared, banked write-back L2 with directory invalidation
+  (Section 2.3);
 * :class:`~repro.mem.shared_mem.SharedMemorySystem` — private L1+L2 per
-  CPU kept coherent by a snoopy MESI bus with cache-to-cache transfers.
+  CPU kept coherent by a snoopy MESI bus with cache-to-cache transfers
+  (Section 2.4);
+* :class:`~repro.mem.cluster.ClusterSharedL1System` — a MemPool-style
+  many-core cluster pooling its L1 behind a multi-stage crossbar;
+* :class:`~repro.mem.shared_l3.SharedL3System` — private L1+L2 per CPU
+  over a shared, banked L3 (3D-stacked design point).
+
+The paper's three architectures are the ``shared-l1`` / ``shared-l2``
+/ ``shared-mem`` presets; ``repro list`` enumerates all of them (see
+docs/TOPOLOGIES.md).
 """
 
 from repro.mem.types import AccessKind, AccessResult, StallLevel
@@ -18,9 +30,23 @@ from repro.mem.cache import CacheArray, CacheLine
 from repro.mem.bank import BankedResource, Resource
 from repro.mem.functional import FunctionalMemory
 from repro.mem.hierarchy import MemorySystem
+from repro.mem.topology import (
+    CacheLevel,
+    Interconnect,
+    Topology,
+    TopologyPreset,
+    build_topology,
+    get_preset,
+    register_builder,
+    register_topology,
+    resolve_topology,
+    topology_names,
+)
 from repro.mem.shared_l1 import SharedL1System
 from repro.mem.shared_l2 import SharedL2System
 from repro.mem.shared_mem import SharedMemorySystem
+from repro.mem.cluster import ClusterSharedL1System
+from repro.mem.shared_l3 import SharedL3System
 
 __all__ = [
     "AccessKind",
@@ -32,7 +58,19 @@ __all__ = [
     "Resource",
     "FunctionalMemory",
     "MemorySystem",
+    "CacheLevel",
+    "Interconnect",
+    "Topology",
+    "TopologyPreset",
+    "build_topology",
+    "get_preset",
+    "register_builder",
+    "register_topology",
+    "resolve_topology",
+    "topology_names",
     "SharedL1System",
     "SharedL2System",
     "SharedMemorySystem",
+    "ClusterSharedL1System",
+    "SharedL3System",
 ]

@@ -1,0 +1,158 @@
+"""Clustered shared-L1 topology (MemPool-style, arXiv 2012.02973).
+
+A scaled-up cousin of the paper's shared-primary architecture: many
+cores (16 by default) pool their L1 data capacity into one banked
+array, but the single-stage crossbar — which already cost 2 extra
+cycles at 4 cores — becomes a pipelined multi-stage interconnect
+(:class:`~repro.mem.crossbar.MultistageCrossbar`). Below the cluster
+the chip is unchanged: one unified L2 and main memory, no coherence
+machinery anywhere.
+
+Unlike the paper preset, this topology never runs "optimistically":
+the interconnect traversal is the design point under study, so both
+CPU models pay it (``MemConfig.shared_l1_optimistic`` is ignored).
+"""
+
+from __future__ import annotations
+
+from repro.mem.cache import CacheArray, LineState
+from repro.mem.crossbar import MultistageCrossbar
+from repro.mem.hierarchy import MemConfig, count_miss
+from repro.mem.shared_l1 import SharedL1System
+from repro.mem.types import StallLevel
+from repro.sim.stats import SystemStats
+
+
+class ClusterSharedL1System(SharedL1System):
+    """N cores sharing a pooled L1 behind a multi-stage crossbar."""
+
+    name = "cluster-l1"
+
+    def __init__(
+        self, topology, config: MemConfig, stats: SystemStats
+    ) -> None:
+        super().__init__(config, stats)
+        self.topology = topology
+        level = topology.level("l1d")
+        interconnect = topology.interconnect
+        # Re-shape the shared array and swap the single-stage crossbar
+        # for the spec's multi-stage interconnect.
+        self.l1d = CacheArray(
+            "shared.l1d", level.size, level.assoc, config.line_size
+        )
+        self.crossbar = MultistageCrossbar(
+            "l1.xbar",
+            level.banks,
+            config.line_size,
+            stage_latencies=interconnect.stage_latencies,
+            occupancy=interconnect.occupancy,
+            n_ports=config.n_cpus,
+        )
+
+    def attach_obs(self, obs) -> None:
+        """Wire the multi-stage interconnect for conflict events.
+
+        No shadow resource exists here: the cluster always pays its
+        interconnect, so the real one carries the contention counters.
+        """
+        self.obs = obs
+        self.crossbar.obs = obs
+
+    def obs_probes(self) -> list[tuple]:
+        """Interconnect grants/conflicts, per-bank and per-switch busy,
+        L2 port, memory and write-buffer fill."""
+        xbar = self.crossbar
+        probes: list[tuple] = [
+            ("rate", "l1.xbar.grants", lambda x=xbar: x.requests),
+            ("rate", "l1.xbar.conflict", lambda x=xbar: x.wait_cycles),
+            ("rate", "l2.port.busy", lambda: self.l2_port.busy_cycles),
+            ("rate", "mem.busy", lambda: self.mem.banks.busy_cycles),
+        ]
+        for index, bank in enumerate(xbar.banks.banks):
+            probes.append(
+                ("rate", f"l1.bank{index}.busy", lambda b=bank: b.busy_cycles)
+            )
+        for stage, column in enumerate(xbar.switches):
+            for index, switch in enumerate(column):
+                probes.append(
+                    (
+                        "rate",
+                        f"l1.s{stage}.sw{index}.busy",
+                        lambda s=switch: s.busy_cycles,
+                    )
+                )
+        for index, buffer in enumerate(self._store_buffers):
+            probes.append(
+                ("gauge", f"cpu{index}.wb", lambda b=buffer: b.occupancy)
+            )
+        return probes
+
+    def resource_report(self, cycles: int) -> dict[str, float]:
+        """Busy fractions of the banks, switch columns, L2 port and
+        memory."""
+        report = super().resource_report(cycles)
+        for stage, column in enumerate(self.crossbar.switches):
+            for index, switch in enumerate(column):
+                report[f"l1.s{stage}.sw{index}"] = switch.utilization(cycles)
+        return report
+
+    # ------------------------------------------------------------------
+    # Access paths: identical to the shared-L1 ones except the
+    # interconnect is *always* consulted — there is no optimistic fiat
+    # for the cluster, under either CPU model.
+
+    def fast_load(self, cpu: int, addr: int, at: int) -> int:
+        """Pooled-L1 data hit through the interconnect; -1 on miss."""
+        l1d = self.l1d
+        line_addr = addr >> l1d.line_shift
+        cache_set = l1d._sets[line_addr & l1d._set_mask]
+        line = cache_set.get(line_addr)
+        if line is None:
+            return -1
+        del cache_set[line_addr]
+        cache_set[line_addr] = line
+        self._l1d_stats.reads += 1
+        ready, _wait = self.crossbar.access(addr, at, port=cpu)
+        return ready
+
+    def fast_store(self, cpu: int, addr: int, at: int) -> int:
+        """Posted store hitting the pooled L1; -1 on miss."""
+        l1d = self.l1d
+        line_addr = addr >> l1d.line_shift
+        cache_set = l1d._sets[line_addr & l1d._set_mask]
+        line = cache_set.get(line_addr)
+        if line is None:
+            return -1
+        self._l1d_stats.writes += 1
+        buffer = self._store_buffers[cpu]
+        release, _stalled = buffer.admit(at)
+        hit_done, _wait = self.crossbar.access(addr, at, port=cpu)
+        del cache_set[line_addr]
+        cache_set[line_addr] = line
+        line.state = LineState.MODIFIED
+        buffer.push(hit_done)
+        return release + 1
+
+    def _data_path(
+        self, cpu: int, addr: int, at: int, is_store: bool
+    ) -> tuple[int, StallLevel]:
+        """The cluster access pipeline common to loads and stores."""
+        hit_done, _wait = self.crossbar.access(addr, at, port=cpu)
+
+        line = self.l1d.lookup(addr)
+        if line is not None:
+            if is_store:
+                line.state = LineState.MODIFIED
+            level = StallLevel.NONE if hit_done - at <= 1 else StallLevel.L1
+            return hit_done, level
+
+        miss_kind = self.l1d.classify_miss(addr)
+        count_miss(self._l1d_stats, miss_kind, is_store)
+        done, level = self._l2_access(addr, hit_done, is_store=is_store)
+        fill_state = LineState.MODIFIED if is_store else LineState.SHARED
+        victim = self.l1d.insert(addr, fill_state)
+        if victim is not None and victim.dirty:
+            self._write_back_to_l2(
+                victim.line_addr << self.l1d.line_shift, hit_done
+            )
+        return done, level

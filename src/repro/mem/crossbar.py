@@ -152,3 +152,146 @@ class Crossbar:
     @property
     def requests(self) -> int:
         return self.banks.requests
+
+
+class MultistageCrossbar:
+    """A pipelined multi-stage interconnect (MemPool-style cluster).
+
+    At 16+ cores a single-stage crossbar's wiring does not close
+    timing; real designs split it into stages of radix-``r`` switches.
+    The model: a request from CPU ``p`` crosses one switch per
+    intermediate stage (CPUs are grouped ``radix`` per first-stage
+    switch, ``radix**2`` per second, ...) and lands in its address-
+    interleaved bank. Each switch and the bank are held for the
+    occupancy, so congestion shows up wherever traffic converges; the
+    latency is the sum of the per-stage pipeline delays.
+
+    The last entry of ``stage_latencies`` covers the bank stage, so a
+    two-stage interconnect has one intermediate switch column.
+    Interface-compatible with :class:`Crossbar` (``access``/``probe``/
+    counters) so the memory systems can use either.
+    """
+
+    __slots__ = (
+        "name", "stage_latencies", "latency", "occupancy", "radix",
+        "banks", "ports", "switches", "wait_cycles", "obs",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        n_banks: int,
+        line_size: int,
+        stage_latencies: tuple,
+        occupancy: int,
+        n_ports: int = 16,
+        radix: int = 4,
+    ) -> None:
+        self.name = name
+        self.stage_latencies = tuple(stage_latencies)
+        self.latency = sum(self.stage_latencies)
+        self.occupancy = occupancy
+        self.radix = radix
+        self.banks = BankedResource(name, n_banks, line_size)
+        self.ports = [Resource(f"{name}.port{i}") for i in range(n_ports)]
+        # One switch column per intermediate stage; the final stage is
+        # the banks themselves.
+        self.switches: list[list[Resource]] = []
+        group = radix
+        for stage in range(max(len(self.stage_latencies) - 1, 0)):
+            n_switches = max(n_ports // group, 1)
+            self.switches.append(
+                [
+                    Resource(f"{name}.s{stage}.sw{i}")
+                    for i in range(n_switches)
+                ]
+            )
+            group *= radix
+        self.wait_cycles = 0
+        #: attached Observation; conflict events are emitted when set
+        self.obs = None
+
+    def _route(self, addr: int, port: int) -> list:
+        """Every resource a request from ``port`` to ``addr`` holds."""
+        path = [self.ports[port]]
+        group = self.radix
+        for column in self.switches:
+            path.append(column[(port // group) % len(column)])
+            group *= self.radix
+        path.append(self.banks.bank_of(addr))
+        return path
+
+    def access(
+        self,
+        addr: int,
+        at: int,
+        port: int = 0,
+        occupancy: int | None = None,
+    ) -> tuple[int, int]:
+        """Route a request through its switch path to its bank.
+
+        Returns ``(data_ready, conflict_wait)`` exactly like
+        :meth:`Crossbar.access`; the wait counts queueing behind
+        earlier traffic anywhere along the path.
+        """
+        hold = self.occupancy if occupancy is None else occupancy
+        path = self._route(addr, port)
+        start = at
+        for res in path:
+            if res.next_free > start:
+                start = res.next_free
+        for res in path:
+            res.acquire(start, hold)
+        wait = start - at
+        self.wait_cycles += wait
+        if self.obs is not None and wait > 0:
+            self.obs.emit(
+                f"{self.name}[{self.banks.bank_index(addr)}]",
+                "conflict",
+                "xbar",
+                at,
+                wait,
+                {"port": port},
+            )
+        return start + self.latency, wait
+
+    def probe(self, addr: int, at: int, port: int = 0) -> int:
+        """Shadow variant of :meth:`access` (see :meth:`Crossbar.probe`):
+        counts the conflict a request would see without queueing."""
+        hold = self.occupancy
+        path = self._route(addr, port)
+        busy_until = max(res.next_free for res in path)
+        wait = busy_until - at
+        if wait > 0:
+            self.wait_cycles += wait
+            if self.obs is not None:
+                self.obs.emit(
+                    f"{self.name}[{self.banks.bank_index(addr)}]",
+                    "conflict",
+                    "xbar",
+                    at,
+                    wait,
+                    {"port": port},
+                )
+        else:
+            wait = 0
+        end = at + hold
+        for res in path:
+            if res.next_free < end:
+                res.next_free = end
+            res.busy_cycles += hold
+            res.requests += 1
+        return wait
+
+    def bank_index(self, addr: int) -> int:
+        """Index of the bank serving ``addr``."""
+        return self.banks.bank_index(addr)
+
+    @property
+    def conflict_cycles(self) -> int:
+        """Total cycles requests spent queued along busy paths."""
+        return self.wait_cycles
+
+    @property
+    def requests(self) -> int:
+        return self.banks.requests

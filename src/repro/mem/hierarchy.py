@@ -1,7 +1,7 @@
 """Memory-system configuration and the common interface.
 
-:class:`MemConfig` collects every geometry and timing knob for the
-three architectures; the per-architecture presets in
+:class:`MemConfig` collects every geometry and timing knob the
+topology presets draw from; the scale presets in
 :mod:`repro.core.configs` fill it in with the paper's Table 2 numbers.
 :class:`MemorySystem` is the interface the CPU models drive.
 """
@@ -71,6 +71,15 @@ class MemConfig:
     mem_latency: int = 50
     mem_occupancy: int = 6
 
+    # Shared tertiary cache (the ``shared-l3`` topology; unused by the
+    # paper's three architectures). The stacked L3 sits at its own
+    # latency/bandwidth point between the private L2s and memory.
+    l3_size: int = 8 * 1024 * 1024
+    l3_assoc: int = 4
+    shared_l3_latency: int = 25    # through the crossbar to the stack
+    l3_occupancy: int = 4
+    n_l3_banks: int = 8
+
     # Banking / buffering. Main memory is "uniprocessor-like": its
     # internal multibanking is what gets the per-access occupancy down
     # to 6 cycles, but accesses serialize on the one memory bus.
@@ -104,7 +113,7 @@ class MemConfig:
             raise ConfigError("n_cpus must be positive")
         if self.line_size <= 0 or self.line_size & (self.line_size - 1):
             raise ConfigError("line_size must be a power of two")
-        for name in ("l1i_size", "l1d_size", "l2_size"):
+        for name in ("l1i_size", "l1d_size", "l2_size", "l3_size"):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive")
         if self.write_buffer_depth <= 0:
@@ -151,33 +160,15 @@ class MemConfig:
             minimum = self.line_size * 4
             return scaled_size if scaled_size >= minimum else minimum
 
-        return MemConfig(
-            n_cpus=self.n_cpus,
-            line_size=self.line_size,
+        # ``replace`` carries every other field (timings, banking,
+        # policies) through untouched, so newly added knobs never need
+        # to be re-listed here.
+        return dataclasses.replace(
+            self,
             l1i_size=shrink(self.l1i_size),
-            l1i_assoc=self.l1i_assoc,
             l1d_size=shrink(self.l1d_size),
-            l1d_assoc=self.l1d_assoc,
             l2_size=shrink(self.l2_size),
-            l2_assoc=self.l2_assoc,
-            l1_latency=self.l1_latency,
-            l1_occupancy=self.l1_occupancy,
-            shared_l1_latency=self.shared_l1_latency,
-            l2_latency=self.l2_latency,
-            l2_occupancy=self.l2_occupancy,
-            shared_l2_latency=self.shared_l2_latency,
-            shared_l2_occupancy=self.shared_l2_occupancy,
-            mem_latency=self.mem_latency,
-            mem_occupancy=self.mem_occupancy,
-            n_l1_banks=self.n_l1_banks,
-            n_l2_banks=self.n_l2_banks,
-            n_mem_banks=self.n_mem_banks,
-            write_buffer_depth=self.write_buffer_depth,
-            mshr_entries=self.mshr_entries,
-            shared_l1_optimistic=self.shared_l1_optimistic,
-            l1_fast_path=self.l1_fast_path,
-            l1_coherence=self.l1_coherence,
-            bus=self.bus,
+            l3_size=shrink(self.l3_size),
         )
 
 
@@ -190,7 +181,7 @@ class MemorySystem(ABC):
     level serviced it. The CPU attributes stall time from the result.
     """
 
-    #: short name used in reports ("shared-l1", "shared-l2", "shared-mem")
+    #: short name used in reports (the topology preset name)
     name: str = "abstract"
 
     def __init__(self, config: MemConfig, stats: SystemStats) -> None:

@@ -27,6 +27,21 @@ from repro.mem.functional import FunctionalMemory
 from repro.workloads.layout import AddressSpace
 
 
+def shard(n_items: int, n_cpus: int, cpu_id: int) -> range:
+    """Balanced contiguous block of items owned by ``cpu_id``.
+
+    The first ``n_items % n_cpus`` CPUs take one extra item, so any
+    CPU count decomposes deterministically; when ``n_cpus`` divides
+    ``n_items`` the split is the classic even one (workloads that
+    relied on even division keep their exact historical schedules).
+    CPUs beyond ``n_items`` receive an empty range and just take part
+    in the barriers.
+    """
+    base, extra = divmod(n_items, n_cpus)
+    start = cpu_id * base + min(cpu_id, extra)
+    return range(start, start + base + (1 if cpu_id < extra else 0))
+
+
 class ThreadContext:
     """Per-CPU execution context handed to thread programs."""
 

@@ -27,7 +27,7 @@ import numpy as np
 from repro.errors import WorkloadError
 from repro.mem.functional import FunctionalMemory
 from repro.sync.barrier import Barrier
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, shard
 
 _COMPLEX = 16  # interleaved re/im doubles
 
@@ -58,8 +58,6 @@ class FftWorkload(Workload):
             raise WorkloadError(f"unknown scale {scale!r}") from None
         if self.n_points & (self.n_points - 1):
             raise WorkloadError("FFT length must be a power of two")
-        if self.n_ffts % n_cpus:
-            raise WorkloadError("FFT count must divide evenly by CPUs")
         self.scale = scale
 
         self.init_region = self.code.region("fft.init", 32)
@@ -96,8 +94,10 @@ class FftWorkload(Workload):
         """Init, forward FFTs, spectral exchange, inverse FFTs."""
         ctx = self.context(cpu_id)
         n = self.n_points
-        per_cpu = self.n_ffts // self.n_cpus
-        own = range(cpu_id * per_cpu, (cpu_id + 1) * per_cpu)
+        # Balanced outer-loop partition: identical to the historical
+        # even split whenever n_cpus divides n_ffts, and well-defined
+        # (possibly empty) for any other CPU count.
+        own = shard(self.n_ffts, self.n_cpus, cpu_id)
 
         # Each CPU initializes (writes) its own arrays.
         em = ctx.emitter(self.init_region)

@@ -55,17 +55,21 @@ class OceanWorkload(Workload):
         except KeyError:
             raise WorkloadError(f"unknown scale {scale!r}") from None
         self.scale = scale
-        side = int(math.isqrt(n_cpus))
-        if side * side != n_cpus:
-            raise WorkloadError("ocean needs a square number of CPUs")
-        self.side = side
+        # Rectangular domain decomposition: the most square rows x cols
+        # factorization of n_cpus (2x2 at four CPUs, 2x4 at eight,
+        # 4x4 at sixteen, 1x2 at two). Row/column bands are balanced,
+        # so the interior need not divide evenly.
+        rows = int(math.isqrt(n_cpus))
+        while n_cpus % rows:
+            rows -= 1
+        self.rows = rows
+        self.cols = n_cpus // rows
         interior = self.n - 2
-        if interior % side:
+        if interior < self.rows or interior < self.cols:
             raise WorkloadError(
-                f"interior {interior} not divisible into {side}x{side} "
-                "subgrids"
+                f"interior {interior} too small for a "
+                f"{self.rows}x{self.cols} decomposition"
             )
-        self.sub = interior // side
 
         self.sweep_region = self.code.region("ocean.relax", 64)
         self.grid_a = self.data.alloc_array(self.n * self.n, _ELEM)
@@ -80,10 +84,12 @@ class OceanWorkload(Workload):
     def program(self, cpu_id: int):
         """Relaxation sweeps over this CPU's subgrid."""
         ctx = self.context(cpu_id)
-        row_block = cpu_id // self.side
-        col_block = cpu_id % self.side
-        row_lo = 1 + row_block * self.sub
-        col_lo = 1 + col_block * self.sub
+        row_block, col_block = divmod(cpu_id, self.cols)
+        interior = self.n - 2
+        row_lo = 1 + row_block * interior // self.rows
+        row_hi = 1 + (row_block + 1) * interior // self.rows
+        col_lo = 1 + col_block * interior // self.cols
+        col_hi = 1 + (col_block + 1) * interior // self.cols
 
         grids = (self.grid_a, self.grid_b)
         for sweep in range(self.sweeps):
@@ -92,8 +98,8 @@ class OceanWorkload(Workload):
             em = ctx.emitter(self.sweep_region)
             em.jump(0)
             top = em.label()
-            for r in range(row_lo, row_lo + self.sub):
-                for c in range(col_lo, col_lo + self.sub):
+            for r in range(row_lo, row_hi):
+                for c in range(col_lo, col_hi):
                     # Five-point stencil. Left/right neighbours were
                     # just loaded (registers); up/down and centre come
                     # from memory. Rows owned by the neighbouring CPU
@@ -106,7 +112,7 @@ class OceanWorkload(Workload):
                     yield em.fmul(src1=1)
                     yield em.store(self._addr(dst, r, c), src1=1)
                     yield em.branch(False)
-                last = r == row_lo + self.sub - 1
+                last = r == row_hi - 1
                 yield em.branch(not last, to=top if not last else None)
             yield from self.barrier.wait(ctx)
 

@@ -37,14 +37,15 @@ def build_system(
     cpu_model: str,
     workload: str = "fft",
     obs: ObsConfig | None = None,
+    n_cpus: int = 4,
 ) -> System:
     functional = FunctionalMemory()
-    wl = WORKLOADS[workload](4, functional, "test")
+    wl = WORKLOADS[workload](n_cpus, functional, "test")
     return System(
         arch,
         wl,
         cpu_model=cpu_model,
-        mem_config=config_for_scale("test", 4),
+        mem_config=config_for_scale("test", n_cpus),
         max_cycles=CAP,
         obs=obs,
         checkpointing=True,
@@ -142,6 +143,41 @@ def test_snapshot_is_deterministic():
         return json.dumps(snapshot_system(system), sort_keys=True)
 
     assert take() == take()
+
+
+@pytest.mark.parametrize("cpu_model", CPU_MODELS)
+@pytest.mark.parametrize(
+    "arch,n_cpus", [("cluster-l1", 16), ("shared-l3", 4), ("shared-l3", 8)]
+)
+def test_checkpoint_resume_non_default_topology(arch, n_cpus, cpu_model):
+    # The same bit-identical contract on the non-paper topologies: the
+    # multi-stage crossbar's switch columns and the 3-level hierarchy's
+    # private L2s must all survive the JSON round trip.
+    baseline_sys = build_system(arch, cpu_model, n_cpus=n_cpus)
+    baseline = baseline_sys.run().to_dict()
+    total = baseline_sys._cycle
+
+    partial = build_system(arch, cpu_model, n_cpus=n_cpus)
+    partial.run(pause_at=total // 2)
+    assert partial.paused
+    state = roundtrip(snapshot_system(partial))
+
+    fresh = build_system(arch, cpu_model, n_cpus=n_cpus)
+    restore_system(fresh, state)
+    assert fresh.run().to_dict() == baseline
+
+
+def test_restore_rejects_stage_count_mismatch():
+    # A cluster snapshot must not restore into a cluster whose
+    # multi-stage crossbar has a different switch-column shape.
+    partial = build_system("cluster-l1", "mipsy", n_cpus=16)
+    partial.run(pause_at=900)
+    state = roundtrip(snapshot_system(partial))
+    fresh = build_system("cluster-l1", "mipsy", n_cpus=16)
+    columns = state["memory"]["crossbar"]["switches"]
+    columns.append([list(switch) for switch in columns[0]])
+    with pytest.raises(CheckpointError):
+        restore_system(fresh, state)
 
 
 # ----------------------------------------------------------------------

@@ -133,3 +133,71 @@ def test_compare_claims_flag_without_encoded_figure(capsys):
     ])
     assert code == 0
     assert "no encoded paper claims" in capsys.readouterr().out
+
+
+def test_list_shows_topology_presets(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "topologies:" in out
+    assert "cluster-l1" in out and "shared-l3" in out
+    assert "16 cpus" in out  # the cluster's natural core count
+
+
+def test_run_accepts_topology_alias(capsys):
+    code = main([
+        "run", "-w", "fft", "--topology", "shared-l3", "-s", "test",
+        "--no-cache", "--max-cycles", "3000000",
+    ])
+    assert code == 0
+    assert "fft on shared-l3" in capsys.readouterr().out
+
+
+def test_run_defaults_cpus_to_preset(capsys):
+    code = main([
+        "run", "-w", "fft", "-a", "cluster-l1", "-s", "test",
+        "--no-cache", "--max-cycles", "3000000",
+    ])
+    assert code == 0
+    assert "cluster-l1" in capsys.readouterr().out
+
+
+def test_run_rejects_unknown_topology():
+    with pytest.raises(SystemExit):
+        main(["run", "-w", "fft", "-a", "shared-l9"])
+
+
+def test_compare_accepts_topology_selection(capsys):
+    code = main([
+        "compare", "-w", "fft", "-s", "test", "--no-cache",
+        "--archs", "cluster-l1", "shared-l3",
+        "--max-cycles", "3000000",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cluster-l1" in out and "shared-l3" in out
+    assert "shared-mem" not in out  # only the requested topologies ran
+
+
+def test_scaling_command(capsys, tmp_path):
+    svg = tmp_path / "scaling.svg"
+    code = main([
+        "scaling", "-w", "fft", "-s", "test", "--no-cache",
+        "--archs", "cluster-l1", "--counts", "2", "4",
+        "--svg", str(svg), "--max-cycles", "3000000",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cores" in out and "speedup" in out
+    assert svg.exists() and "polyline" in svg.read_text()
+
+
+def test_trace_command_honours_cpu_count(capsys):
+    assert main([
+        "trace", "-w", "ocean", "-n", "8", "--cpu", "5", "--limit", "5",
+    ]) == 0
+    assert "cpu 5 of 8" in capsys.readouterr().out
+
+
+def test_trace_rejects_cpu_out_of_range(capsys):
+    assert main(["trace", "-w", "ocean", "-n", "4", "--cpu", "7"]) == 2
+    assert "out of range" in capsys.readouterr().err

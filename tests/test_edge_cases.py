@@ -65,14 +65,22 @@ def test_eqntott_rejects_indivisible_vectors():
         eq._SCALES = original
 
 
-def test_fft_rejects_indivisible_batch():
-    with pytest.raises(WorkloadError):
-        WORKLOADS["fft"](3, FunctionalMemory(), "test")  # 4 % 3 != 0
+def test_fft_accepts_indivisible_batch():
+    # The outer loop shards: 3 CPUs over 4 FFTs gives blocks of 2/1/1.
+    workload = WORKLOADS["fft"](3, FunctionalMemory(), "test")
+    assert workload.n_ffts == 4  # still the test-scale batch
 
 
-def test_ocean_rejects_non_square_cpu_counts():
+def test_ocean_accepts_non_square_cpu_counts():
+    # 2 CPUs decompose as 1x2 row/column bands.
+    workload = OceanWorkload(2, FunctionalMemory(), "test")
+    assert (workload.rows, workload.cols) == (1, 2)
+
+
+def test_ocean_rejects_grid_too_small_for_decomposition():
+    # test scale has a 16-point interior; 17 CPUs would need 17 columns.
     with pytest.raises(WorkloadError):
-        OceanWorkload(2, FunctionalMemory(), "test")
+        OceanWorkload(17, FunctionalMemory(), "test")
 
 
 def test_ear_rejects_indivisible_channels():

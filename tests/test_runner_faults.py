@@ -165,6 +165,34 @@ def test_policy_fields_do_not_change_job_key(tmp_path):
     assert "ckpt_every" not in plain.spec()
 
 
+def test_spec_includes_resolved_topology():
+    # The cache key must carry the whole machine shape: a 16-core
+    # cluster run may never be satisfied by a 4-core entry.
+    spec = normal_job().spec()
+    assert spec["topology"]["n_cpus"] == spec["n_cpus"]
+    assert spec["topology"]["levels"]
+
+    small = Job(arch="cluster-l1", workload="fft", scale="test", n_cpus=4)
+    large = Job(arch="cluster-l1", workload="fft", scale="test", n_cpus=16)
+    assert small.key() != large.key()
+    assert small.spec()["topology"]["levels"][0]["size"] != \
+        large.spec()["topology"]["levels"][0]["size"]
+
+
+def test_spec_distinguishes_topologies_not_just_names():
+    # Overrides that change the machine shape change the key too.
+    plain = Job(arch="shared-l3", workload="fft", scale="test")
+    bigger = Job(
+        arch="shared-l3",
+        workload="fft",
+        scale="test",
+        overrides={"l3_size": 1 << 22},
+    )
+    assert plain.key() != bigger.key()
+    assert plain.resolve_topology().level("l3").size != \
+        bigger.resolve_topology().level("l3").size
+
+
 def test_job_auto_resumes_from_latest_checkpoint(tmp_path):
     baseline = normal_job().run()
     job = Job(

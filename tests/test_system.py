@@ -77,7 +77,7 @@ def test_build_memory_by_name():
         memory = build_memory(arch, make_test_config(), stats)
         assert memory.name == arch
     with pytest.raises(ConfigError):
-        build_memory("shared-l3", make_test_config(), stats)
+        build_memory("shared-l9", make_test_config(), stats)
 
 
 def test_cpu_params_validation():

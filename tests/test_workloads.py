@@ -161,7 +161,21 @@ def test_multiprog_kernel_is_shared():
 
 def test_ocean_decomposition_covers_interior():
     workload, _ = build("ocean")
-    assert workload.side * workload.sub == workload.n - 2
+    assert workload.rows * workload.cols == workload.n_cpus
+    # Balanced row/column bands tile the interior exactly.
+    interior = workload.n - 2
+    row_edges = [
+        1 + block * interior // workload.rows
+        for block in range(workload.rows + 1)
+    ]
+    col_edges = [
+        1 + block * interior // workload.cols
+        for block in range(workload.cols + 1)
+    ]
+    assert row_edges[0] == 1 and row_edges[-1] == interior + 1
+    assert col_edges[0] == 1 and col_edges[-1] == interior + 1
+    assert all(lo < hi for lo, hi in zip(row_edges, row_edges[1:]))
+    assert all(lo < hi for lo, hi in zip(col_edges, col_edges[1:]))
 
 
 def test_volpack_tasks_cover_all_scanlines():
