@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Microbenchmarks for the simulator's host-performance hot paths.
 
-Four scenarios, each chosen to stress one layer of the simulator:
+Five scenarios, each chosen to stress one layer of the simulator:
 
 * ``l1_hit_storm``   — private arrays that fit in L1: after warmup every
   access takes the L1 fast lane. Measures the per-instruction floor
@@ -10,11 +10,18 @@ Four scenarios, each chosen to stress one layer of the simulator:
   L1: every load misses and takes the general ``access()`` path.
   Measures the miss/coherence machinery the fast lane bypasses.
 * ``crossbar_contention`` — every CPU hammers the *same* shared array
-  on the shared-L1 architecture under MXS (Mipsy models the shared L1
+  on the shared-l1 architecture under MXS (Mipsy models the shared L1
   optimistically, so only MXS exercises bank arbitration).
 * ``ocean_slice``    — a real workload (Ocean) across every
   architecture x CPU model: the end-to-end number that the
   ``reproduce_all`` wall-clock ultimately follows.
+* ``replay_interpreter`` / ``replay_kernel`` — the *same* recorded
+  eqntott trace replayed per architecture through the ordinary
+  interpreter (``TraceWorkload`` + ``System``) and through the
+  batch-specialized kernel (``repro.trace.kernel``). The pair tracks
+  the kernel's speedup per architecture, not just end-to-end; the
+  differential suite keeps their statistics bit-identical, so any gap
+  here is pure host performance.
 
 Output is JSON (``--out``, default ``benchmarks/results/microbench.json``)
 with one record per (scenario, arch, cpu_model): host wall seconds,
@@ -206,6 +213,77 @@ def build_benches(quick: bool) -> list[tuple[str, Job]]:
     return benches
 
 
+def replay_pair_records(quick: bool, repeat: int) -> list[dict]:
+    """Time interpreter vs. batch-kernel replay of one recorded trace.
+
+    Records eqntott once (into a throwaway store, so the benchmark
+    never depends on — or pollutes — the user's trace cache), then
+    replays the same reference stream per architecture through both
+    engines. Trace decode happens once, outside the timed region, on
+    both sides: the pair measures the engines, not the parser.
+    """
+    import tempfile
+
+    from repro.core.configs import config_for_scale
+    from repro.core.system import System
+    from repro.trace.format import read_trace
+    from repro.trace.kernel import PackedTrace, replay_kernel
+    from repro.trace.replay import TraceWorkload
+    from repro.trace.store import TraceStore
+
+    scale = "test" if quick else "bench"
+    n_cpus = 4
+    with tempfile.TemporaryDirectory(prefix="micro-trace-") as tmp:
+        path = TraceStore(tmp).record("eqntott", scale, n_cpus)
+        trace = list(read_trace(path))
+    packed = PackedTrace(n_cpus, trace)
+
+    def interp():
+        functional = FunctionalMemory()
+        workload = TraceWorkload(n_cpus, functional, trace)
+        system = System(
+            arch,
+            workload,
+            cpu_model="mipsy",
+            mem_config=config_for_scale(scale, n_cpus),
+            max_cycles=MAX_CYCLES,
+        )
+        system.run()
+        return system.stats
+
+    def kernel():
+        return replay_kernel(
+            packed,
+            arch,
+            mem_config=config_for_scale(scale, n_cpus),
+            max_cycles=MAX_CYCLES,
+        ).stats
+
+    records = []
+    for arch in ("shared-l1", "shared-l2", "shared-mem"):
+        for name, fn in (
+            ("replay_interpreter", interp),
+            ("replay_kernel", kernel),
+        ):
+            stats, wall = time_call(fn, repeat=repeat)
+            records.append({
+                "name": name,
+                "arch": arch,
+                "cpu_model": "mipsy",
+                "wall_seconds": round(wall, 4),
+                "cycles": stats.cycles,
+                "instructions": stats.instructions,
+                "cycles_per_host_second": round(sim_speed(stats.cycles, wall)),
+            })
+            print(
+                f"  {name:<20} {arch:<10} {'mipsy':<6} "
+                f"{wall:7.3f}s  {stats.cycles:>10} cyc  "
+                f"{sim_speed(stats.cycles, wall) / 1e6:6.2f} Mc/s",
+                flush=True,
+            )
+    return records
+
+
 def run_benches(quick: bool, repeat: int) -> dict:
     """Execute every bench in-process; returns the JSON payload."""
     records = []
@@ -227,6 +305,7 @@ def run_benches(quick: bool, repeat: int) -> dict:
             f"{sim_speed(stats.cycles, wall) / 1e6:6.2f} Mc/s",
             flush=True,
         )
+    records.extend(replay_pair_records(quick, repeat))
     return {
         "when": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "quick": quick,

@@ -13,6 +13,15 @@ itself in a subprocess and compares the result. Records present on one
 side only are reported but never fail the gate (new benchmarks must be
 landable without first rewriting the baseline).
 
+The gate also checks the ``reproduce_all`` wall-clock trajectory in
+``benchmarks/results/bench_runner.json``: the latest entry is compared
+against the most recent earlier entry with the *same profile* —
+(quick, jobs, cache, backend) must all match, so a replayed run is
+never judged against an interpreter baseline (or vice versa), and
+cached runs never race uncached ones. Entries written before the
+backend field existed count as ``interpreter``. ``--skip-runner``
+disables this check.
+
 Typical use::
 
     PYTHONPATH=src python scripts/bench_gate.py              # run + compare
@@ -31,6 +40,7 @@ import tempfile
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = ROOT / "benchmarks" / "results" / "microbench.json"
+DEFAULT_RUNNER = ROOT / "benchmarks" / "results" / "bench_runner.json"
 
 
 def load_records(path: pathlib.Path) -> dict[tuple, dict]:
@@ -105,6 +115,74 @@ def compare(
     return regressions
 
 
+def runner_profile(entry: dict) -> tuple:
+    """What must match before two bench_runner entries are comparable.
+
+    The backend defaults to ``interpreter`` for entries written before
+    the replay lane existed; replayed and generated runs are different
+    experiments at very different speeds, so the gate never compares
+    across backends.
+    """
+    return (
+        bool(entry.get("quick")),
+        entry.get("jobs"),
+        bool(entry.get("cache", True)),
+        entry.get("backend", "interpreter"),
+    )
+
+
+def check_runner_trajectory(
+    path: pathlib.Path,
+    tolerance: float,
+    min_delta: float = 0.5,
+) -> list[str]:
+    """Compare the newest bench_runner entry against its own profile.
+
+    Returns regression messages (empty = passes). The newest entry is
+    judged only against the *most recent* earlier entry whose
+    :func:`runner_profile` matches exactly — trajectory, not
+    best-ever, because entries span package versions whose feature
+    sets differ. With no comparable history the check passes.
+    """
+    if not path.exists():
+        print(f"no runner baseline at {path}; skipping trajectory check")
+        return []
+    entries = json.loads(path.read_text())
+    if not entries:
+        return []
+    latest = entries[-1]
+    profile = runner_profile(latest)
+    quick, jobs, cache, backend = profile
+    label = (
+        f"{'quick' if quick else 'full'}/jobs={jobs}/"
+        f"{'cached' if cache else 'uncached'}/{backend}"
+    )
+    prior = [e for e in entries[:-1] if runner_profile(e) == profile]
+    print(f"runner trajectory ({label}):")
+    if not prior:
+        print("  no earlier entry with this profile; nothing to compare")
+        return []
+    previous = prior[-1]
+    prev_wall = previous["total_wall_seconds"]
+    fresh_wall = latest["total_wall_seconds"]
+    if prev_wall <= 0:
+        return []
+    ratio = fresh_wall / prev_wall
+    regressed = ratio > 1 + tolerance and fresh_wall - prev_wall > min_delta
+    marker = " <-- REGRESSION" if regressed else ""
+    print(
+        f"  {previous['when']} {prev_wall:7.3f}s -> "
+        f"{latest['when']} {fresh_wall:7.3f}s "
+        f"({100 * (ratio - 1):+6.1f}%){marker}"
+    )
+    if regressed:
+        return [
+            f"runner[{label}]: {prev_wall:.3f}s -> {fresh_wall:.3f}s "
+            f"({100 * (ratio - 1):+.1f}%, tolerance {100 * tolerance:.0f}%)"
+        ]
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -128,33 +206,46 @@ def main(argv: list[str] | None = None) -> int:
         "--warn-only", action="store_true",
         help="report regressions but always exit 0 (for noisy CI hosts)",
     )
+    parser.add_argument(
+        "--runner-baseline", metavar="PATH", default=str(DEFAULT_RUNNER),
+        help=f"bench_runner.json trajectory file (default {DEFAULT_RUNNER})",
+    )
+    parser.add_argument(
+        "--skip-runner", action="store_true",
+        help="skip the reproduce_all wall-clock trajectory check",
+    )
     args = parser.parse_args(argv)
 
+    regressions: list[str] = []
     baseline_path = pathlib.Path(args.baseline)
     if not baseline_path.exists():
         print(f"no baseline at {baseline_path}; nothing to gate against")
-        return 0
-    current_path = (
-        pathlib.Path(args.current) if args.current else run_quick_micro()
-    )
-
-    baseline = load_records(baseline_path)
-    current = load_records(current_path)
-    if json.loads(baseline_path.read_text()).get("quick") != json.loads(
-        current_path.read_text()
-    ).get("quick"):
-        print(
-            "warning: baseline and current were recorded at different "
-            "sizes (--quick mismatch); wall-time deltas are meaningless"
+    else:
+        current_path = (
+            pathlib.Path(args.current) if args.current else run_quick_micro()
         )
+        baseline = load_records(baseline_path)
+        current = load_records(current_path)
+        if json.loads(baseline_path.read_text()).get("quick") != json.loads(
+            current_path.read_text()
+        ).get("quick"):
+            print(
+                "warning: baseline and current were recorded at different "
+                "sizes (--quick mismatch); wall-time deltas are meaningless"
+            )
+        print(
+            f"bench gate (tolerance {100 * args.tolerance:.0f}% "
+            f"and > {args.min_delta:.2f}s):"
+        )
+        regressions.extend(compare(
+            baseline, current, args.tolerance, min_delta=args.min_delta
+        ))
 
-    print(
-        f"bench gate (tolerance {100 * args.tolerance:.0f}% "
-        f"and > {args.min_delta:.2f}s):"
-    )
-    regressions = compare(
-        baseline, current, args.tolerance, min_delta=args.min_delta
-    )
+    if not args.skip_runner:
+        regressions.extend(check_runner_trajectory(
+            pathlib.Path(args.runner_baseline), args.tolerance
+        ))
+
     if regressions:
         print(f"\n{len(regressions)} regression(s):")
         for message in regressions:

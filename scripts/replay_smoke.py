@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the trace-replay lane (CI ``replay-smoke``).
+
+Scenario (see docs/REPLAY.md):
+
+1. Record eqntott once into a throwaway trace store — the
+   record-on-first-use half of the lane.
+2. Replay a three-point line-size sweep through the batch kernel —
+   the record-once/sweep-many half.
+3. Re-simulate every point through the interpreter
+   (``TraceWorkload`` + ``System``) and diff the full ``SystemStats``
+   dict: the kernel's differential contract, checked on a machine
+   that is not the test suite's.
+
+Exit status 0 on success; any stats divergence prints the offending
+fields and returns 1.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+sys.path.insert(0, "src")
+
+from repro.core.configs import config_for_scale
+from repro.core.system import System
+from repro.mem.functional import FunctionalMemory
+from repro.trace.kernel import load_packed, replay_kernel
+from repro.trace.replay import TraceWorkload
+from repro.trace.store import TraceStore
+
+WORKLOAD = "eqntott"
+SCALE = "test"
+N_CPUS = 4
+ARCH = "shared-l2"
+LINE_SIZES = (32, 64, 128)
+
+
+def diff_stats(kernel: dict, interp: dict, label: str) -> bool:
+    if kernel == interp:
+        return True
+    print(f"FAIL {label}: kernel and interpreter stats diverge")
+    keys = sorted(kernel.keys() | interp.keys())
+    for key in keys:
+        if kernel.get(key) != interp.get(key):
+            print(f"  {key}: kernel={kernel.get(key)!r} "
+                  f"interpreter={interp.get(key)!r}")
+    return False
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="replay-smoke-") as tmp:
+        store = TraceStore(tmp)
+        print(f"[record] {WORKLOAD}/{SCALE}/{N_CPUS}cpu ...", flush=True)
+        path = store.get_or_record(WORKLOAD, SCALE, N_CPUS)
+        packed = load_packed(N_CPUS, path)
+        print(f"[record] {path.name}: {len(packed)} references")
+
+        ok = True
+        for line_size in LINE_SIZES:
+            outcome = replay_kernel(
+                packed,
+                ARCH,
+                mem_config=config_for_scale(
+                    SCALE, N_CPUS, line_size=line_size
+                ),
+            )
+            system = System(
+                ARCH,
+                TraceWorkload.from_file(N_CPUS, FunctionalMemory(), path),
+                mem_config=config_for_scale(
+                    SCALE, N_CPUS, line_size=line_size
+                ),
+                max_cycles=50_000_000,
+            )
+            system.run()
+            label = f"{ARCH}/line_size={line_size}"
+            if diff_stats(
+                outcome.stats.to_dict(), system.stats.to_dict(), label
+            ):
+                print(
+                    f"ok   {label}: {outcome.stats.cycles} cycles, "
+                    "kernel == interpreter"
+                )
+            else:
+                ok = False
+
+    if not ok:
+        return 1
+    print("replay smoke: all sweep points bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -100,6 +100,8 @@ def build_batch(
     timeout_s: float = 0.0,
     ckpt_every: int = 0,
     ckpt_dir: str | None = None,
+    replay: bool = False,
+    trace_dir: str | None = None,
 ) -> list[Job]:
     """One job per (figure, architecture) — the whole evaluation.
 
@@ -107,7 +109,11 @@ def build_batch(
     at that interval; the rollups land in bench_runner.json.
     ``timeout_s``/``ckpt_every``/``ckpt_dir`` are execution policy
     passed through to every job (wall-clock budget, periodic in-run
-    checkpointing for crash recovery).
+    checkpointing for crash recovery). ``replay=True`` runs every job
+    down the trace-replay lane (each workload recorded once into the
+    trace store at ``trace_dir``, then re-simulated per architecture
+    through the batch kernel — see docs/REPLAY.md for what that
+    approximation means).
     """
     return [
         Job(
@@ -121,6 +127,8 @@ def build_batch(
             timeout_s=timeout_s,
             ckpt_every=ckpt_every,
             ckpt_dir=ckpt_dir,
+            replay=replay,
+            trace_dir=trace_dir,
         )
         for _name, _title, workload, cpu_model in specs
         for arch in ARCHITECTURES
@@ -196,6 +204,11 @@ def append_baseline(
     entry = {
         "when": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "quick": args.quick,
+        # Which execution backend produced these timings. Replayed and
+        # generated (interpreter) runs are different experiments at
+        # very different speeds; trajectory comparisons (bench_gate)
+        # must never mix the two.
+        "backend": "replay" if args.replay else "interpreter",
         "jobs": run_report.workers,
         "cache": not args.no_cache,
         "total_wall_seconds": round(total_wall, 3),
@@ -242,6 +255,18 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
              "~/.cache/repro-isca96)",
     )
     parser.add_argument(
+        "--replay", action="store_true",
+        help="run every figure down the trace-replay lane: record each "
+             "workload once on the reference machine, then re-simulate "
+             "the stream per architecture through the batch kernel "
+             "(several times faster; see docs/REPLAY.md for validity)",
+    )
+    parser.add_argument(
+        "--trace-dir", metavar="PATH", default=None,
+        help="trace artifact store for --replay (default: "
+             "<cache>/traces)",
+    )
+    parser.add_argument(
         "--obs-sample", type=int, default=0, metavar="N",
         help="attach the utilization sampler to every job at this "
              "interval (0 = off); rollups land in bench_runner.json",
@@ -285,6 +310,8 @@ def main(argv: list[str] | None = None) -> int:
         timeout_s=args.timeout,
         ckpt_every=args.checkpoint_every,
         ckpt_dir=args.ckpt_dir,
+        replay=args.replay,
+        trace_dir=args.trace_dir,
     )
     manifest_path = Path(args.manifest) if args.manifest else MANIFEST
     if not args.resume:

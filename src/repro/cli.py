@@ -134,6 +134,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_replay(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--replay", action="store_true",
+        help="trace-replay lane: record the workload's reference "
+             "stream once (automatic, cached in the trace store) and "
+             "re-simulate it on the target topology instead of "
+             "re-executing the program — several times faster for "
+             "geometry/policy sweeps; see docs/REPLAY.md for when the "
+             "approximation is valid",
+    )
+    parser.add_argument(
+        "--trace-dir", metavar="PATH", default=None,
+        help="trace artifact store for --replay "
+             "(default: <cache>/traces)",
+    )
+
+
 def _parse_override(text: str) -> tuple[str, int]:
     if "=" not in text:
         raise argparse.ArgumentTypeError(
@@ -216,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=0.0, metavar="SECONDS",
         help="abort the simulation after this much wall-clock time",
     )
+    _add_replay(run_p)
 
     cmp_p = sub.add_parser(
         "compare", help="run a topology matrix and compare"
@@ -251,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "values", nargs="+", type=int, help="values to sweep over"
     )
+    _add_replay(sweep_p)
 
     scaling_p = sub.add_parser(
         "scaling",
@@ -438,9 +457,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides=dict(args.overrides),
         max_cycles=args.max_cycles,
         obs_sample=args.sample_interval or 0,
+        replay=args.replay,
         timeout_s=args.timeout,
         ckpt_every=args.checkpoint_every,
         ckpt_dir=args.checkpoint_dir,
+        trace_dir=args.trace_dir,
     )
     profile = args.profile or args.profile_out is not None
     obs_config = None
@@ -618,6 +639,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             n_cpus=args.cpus if args.cpus is not None else 4,
             max_cycles=args.max_cycles,
             runner=runner,
+            replay=args.replay,
+            trace_dir=args.trace_dir,
         )
     except ReproError as error:
         # Sweep problems are reported in-band, not fatally (a bad field

@@ -99,7 +99,8 @@ class ExperimentResult:
             "extras": {
                 key: value
                 for key, value in self.extras.items()
-                if key in ("resources", "truncated", "sync", "obs")
+                if key
+                in ("resources", "truncated", "sync", "obs", "backend", "replay")
             },
             "stats": self.stats.to_dict(),
         }

@@ -93,6 +93,18 @@ class Job:
     the cache — the interval is part of the spec, so observed and
     unobserved runs never share an entry).
 
+    ``replay=True`` routes the job down the trace-replay lane
+    (:mod:`repro.trace.backend`): the workload's reference stream is
+    recorded once on the fixed reference machine (automatically, into
+    the :class:`~repro.trace.store.TraceStore` at ``trace_dir``) and
+    re-simulated on this job's architecture/config instead of
+    re-executing the generator program. Replayed statistics are a
+    *different experiment* from generated ones (timing-dependent
+    behaviour is frozen at recording time — see ``docs/REPLAY.md``),
+    so ``replay`` is part of :meth:`spec`: a replayed run can never
+    hit a generated run's cache entry or vice versa. ``trace_dir``,
+    like the result-cache location, is policy and excluded.
+
     ``timeout_s``, ``ckpt_every`` and ``ckpt_dir`` are *execution
     policy*, not simulation inputs: they change how a run is babysat
     (wall-clock budget, periodic checkpointing for crash recovery), not
@@ -112,9 +124,11 @@ class Job:
     cpu_params: CpuParams | None = None
     max_cycles: int | None = None
     obs_sample: int = 0
+    replay: bool = False
     timeout_s: float = 0.0
     ckpt_every: int = 0
     ckpt_dir: str | None = None
+    trace_dir: str | None = None
 
     def workload_key(self) -> str:
         """Stable identity of the workload for hashing and display."""
@@ -142,6 +156,8 @@ class Job:
     def label(self) -> str:
         """Short human-readable description for progress lines."""
         text = f"{self.workload_key()}/{self.arch}/{self.cpu_model}"
+        if self.replay:
+            text += " (replay)"
         if self.overrides:
             text += " " + ",".join(
                 f"{key}={value}"
@@ -186,6 +202,9 @@ class Job:
             ),
             "max_cycles": self.max_cycles,
             "obs_sample": self.obs_sample,
+            # Replayed and generated runs are different experiments
+            # and must never share a cache entry.
+            "backend": "replay" if self.replay else "interpreter",
         }
 
     def key(self) -> str:
@@ -232,6 +251,12 @@ class Job:
                 resume_from = CheckpointStore(self.ckpt_dir).latest(
                     ckpt_key
                 )
+        if self.replay:
+            from repro.trace.backend import run_replay
+
+            return run_replay(
+                self, config, obs=obs, resume_from=resume_from
+            )
         return run_one(
             self.arch,
             self.resolve_factory(),
@@ -476,6 +501,9 @@ class RunReport:
             result = outcome.result
             entry = {
                 "label": outcome.job.label(),
+                "backend": (
+                    "replay" if outcome.job.replay else "interpreter"
+                ),
                 "wall_seconds": outcome.wall_seconds,
                 "cached": outcome.cached,
                 "cycles": result.stats.cycles if result else None,

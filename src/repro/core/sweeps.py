@@ -85,11 +85,18 @@ def sweep_mem_field(
     base_overrides: dict | None = None,
     jobs: int = 1,
     runner: Runner | None = None,
+    replay: bool = False,
+    trace_dir: str | None = None,
 ) -> SweepResult:
     """Sweep one :class:`~repro.mem.hierarchy.MemConfig` field.
 
     ``base_overrides`` (applied at every point) lets a sweep run on top
     of a non-default configuration — e.g. Ocean's 1/4-scale caches.
+
+    ``replay=True`` runs every point down the trace-replay lane: the
+    workload is recorded once and each sweep point re-simulates the
+    same reference stream — the record-once/replay-many shape this
+    sweep module exists for (see ``docs/REPLAY.md`` for validity).
     """
     if not values:
         raise ConfigError("sweep needs at least one value")
@@ -106,6 +113,8 @@ def sweep_mem_field(
                 n_cpus=n_cpus,
                 overrides=overrides,
                 max_cycles=max_cycles,
+                replay=replay,
+                trace_dir=trace_dir,
             ))
     active = runner if runner is not None else Runner(jobs=jobs)
     outcomes = iter(active.run(batch).outcomes)
@@ -126,11 +135,17 @@ def sweep_cpu_count(
     max_cycles: int | None = 50_000_000,
     jobs: int = 1,
     runner: Runner | None = None,
+    replay: bool = False,
+    trace_dir: str | None = None,
 ) -> dict[str, dict[int, ExperimentResult]]:
     """Run each architecture at several CPU counts.
 
     Returns ``{arch: {n_cpus: result}}``; self-relative speedups are
     ``result[arch][1].cycles / result[arch][n].cycles``.
+
+    Note that under ``replay=True`` each CPU count still records its
+    own reference trace (a 2-CPU stream is not an 8-CPU stream), so
+    replay only pays off here across the *architecture* axis.
     """
     if not counts:
         raise ConfigError("sweep needs at least one CPU count")
@@ -142,6 +157,8 @@ def sweep_cpu_count(
             scale=scale,
             n_cpus=n_cpus,
             max_cycles=max_cycles,
+            replay=replay,
+            trace_dir=trace_dir,
         )
         for arch in archs
         for n_cpus in counts

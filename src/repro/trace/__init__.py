@@ -12,24 +12,44 @@ This package provides both halves:
   back into per-CPU thread programs, so the same reference stream can
   be replayed against a different architecture or configuration;
 * :mod:`~repro.trace.format` defines the compact text format
-  (one record per line) used on disk.
+  (one record per line) used on disk;
+* :class:`~repro.trace.store.TraceStore` keeps traces as
+  content-addressed artifacts, recorded automatically on first use —
+  the record-once half of the runner's ``replay=True`` lane;
+* :func:`~repro.trace.kernel.replay_kernel` replays a
+  :class:`~repro.trace.kernel.PackedTrace` (flat per-CPU ``array``
+  columns) through a batch-specialized Mipsy engine, bit-identical to
+  interpreter replay and several times faster.
 
 Replay loses value-dependent behaviour (synchronization spins replay
 the *recorded* number of iterations rather than re-resolving), which is
 exactly the classic limitation of trace-driven simulation; the
 execution-driven mode exists because of it. Replay is still the right
 tool for cache-geometry sweeps, where the reference stream is fixed by
-construction.
+construction. See ``docs/REPLAY.md`` for the validity boundary.
 """
 
-from repro.trace.format import TraceRecord, read_trace, write_trace
+from repro.trace.format import (
+    TraceRecord,
+    canonical_order,
+    read_trace,
+    write_trace,
+)
+from repro.trace.kernel import KernelRun, PackedTrace, replay_kernel
 from repro.trace.recorder import TraceRecorder
 from repro.trace.replay import TraceWorkload
+from repro.trace.store import TraceStore, default_trace_dir
 
 __all__ = [
+    "KernelRun",
+    "PackedTrace",
     "TraceRecord",
     "TraceRecorder",
+    "TraceStore",
     "TraceWorkload",
+    "canonical_order",
+    "default_trace_dir",
     "read_trace",
+    "replay_kernel",
     "write_trace",
 ]

@@ -4,10 +4,11 @@ One record per line::
 
     <cpu> <kind> <hex addr> <pc hex>
 
-``kind`` is one of ``I`` (ifetch), ``L`` (load), ``S`` (store). The
-issue cycle is deliberately *not* stored: replay timing comes from the
-replaying machine, not the recording one (the whole point of
-trace-driven methodology). Lines starting with ``#`` are comments.
+``kind`` is one of ``I`` (ifetch), ``L`` (load), ``S`` (store) or
+``C`` (store-conditional). The issue cycle is deliberately *not*
+stored: replay timing comes from the replaying machine, not the
+recording one (the whole point of trace-driven methodology). Lines
+starting with ``#`` are comments.
 """
 
 from __future__ import annotations
@@ -22,12 +23,13 @@ _KIND_TO_CODE = {
     AccessKind.IFETCH: "I",
     AccessKind.LOAD: "L",
     AccessKind.STORE: "S",
-    AccessKind.STORE_COND: "S",  # replay as a plain store
+    AccessKind.STORE_COND: "C",
 }
 _CODE_TO_KIND = {
     "I": AccessKind.IFETCH,
     "L": AccessKind.LOAD,
     "S": AccessKind.STORE,
+    "C": AccessKind.STORE_COND,
 }
 
 
@@ -57,8 +59,31 @@ class TraceRecord(NamedTuple):
         return cls(int(cpu), _CODE_TO_KIND[code], int(addr, 16), int(pc, 16))
 
 
-def write_trace(path: str | Path, records: Iterable[TraceRecord]) -> int:
-    """Write records to ``path``; returns the count written."""
+def canonical_order(records: Iterable[TraceRecord]) -> list[TraceRecord]:
+    """Records grouped by CPU, each stream in issue order.
+
+    The global interleaving of a recorded trace carries no semantics —
+    replay splits it back into per-CPU streams — but it *does* depend
+    on the recording machine's tick rotation, which would make
+    record -> replay -> record produce permuted (if equivalent) files.
+    Grouping by CPU is a stable sort, so it canonicalizes the file
+    without touching any stream.
+    """
+    return sorted(records, key=lambda record: record.cpu)
+
+
+def write_trace(
+    path: str | Path,
+    records: Iterable[TraceRecord],
+    canonical: bool = False,
+) -> int:
+    """Write records to ``path``; returns the count written.
+
+    ``canonical=True`` writes in :func:`canonical_order`, which makes
+    equal per-CPU streams produce byte-identical files.
+    """
+    if canonical:
+        records = canonical_order(records)
     count = 0
     with Path(path).open("w") as handle:
         handle.write("# repro trace v1: cpu kind addr pc\n")

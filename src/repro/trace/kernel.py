@@ -1,0 +1,487 @@
+"""Batch-specialized replay engine over packed trace columns.
+
+Replaying a trace through the ordinary interpreter still pays the full
+per-instruction machinery — generator resumption, ``Instruction``
+allocation, the CPU tick dispatch — for a stream whose every reference
+is already known. :class:`PackedTrace` decodes a trace once into flat
+per-CPU ``array`` columns (kind, addr, pc), and :func:`replay_kernel`
+drives the cache/coherence probe loop directly over those columns:
+no generator protocol, no Event objects, no per-reference Python
+dispatch beyond the probes themselves.
+
+The kernel is a *specialization*, not a reimplementation: it mirrors
+:meth:`repro.core.system.System.run` (rotating tick order,
+fast-forward to the earliest resume, truncation, end-of-run drain
+accounting) and :meth:`repro.cpu.mipsy.MipsyCpu.tick` (line-crossing
+I-fetch probes, the L1-hit fast lanes, stall attribution) statement
+for statement, and the differential suite in
+``tests/test_replay_kernel.py`` holds its ``SystemStats`` bit-identical
+to interpreter-mode replay on every architecture. Only the Mipsy model
+is specialized — MXS replay takes the interpreter path (its
+out-of-order core keeps real per-instruction state that cannot be
+flattened away).
+"""
+
+from __future__ import annotations
+
+from array import array
+from pathlib import Path
+from typing import Iterable
+
+from typing import NamedTuple
+
+from repro.errors import ConfigError, ReproError, WorkloadError
+from repro.mem.functional import FunctionalMemory
+from repro.mem.hierarchy import MemConfig
+from repro.mem.types import AccessKind, StallLevel
+from repro.sim.stats import SystemStats
+from repro.trace.format import TraceRecord
+from repro.trace.replay import _DEFAULT_PC
+
+_LOAD = int(AccessKind.LOAD)
+_STORE = int(AccessKind.STORE)
+_SC = int(AccessKind.STORE_COND)
+
+
+class PackedTrace:
+    """A decoded trace as flat per-CPU reference columns.
+
+    I-fetch records are folded into a ``pc`` column: each executed
+    reference carries the pc of the most recent recorded fetch (the
+    same constant-pc rule :class:`~repro.trace.replay.TraceWorkload`
+    replays by), so the kernel re-derives the recorded fetch stream
+    with one shift-and-compare per reference — for *any* line size.
+    """
+
+    __slots__ = ("n_cpus", "n_records", "kinds", "addrs", "pcs")
+
+    def __init__(
+        self, n_cpus: int, records: Iterable[TraceRecord] = ()
+    ) -> None:
+        if n_cpus <= 0:
+            raise WorkloadError("n_cpus must be positive")
+        self.n_cpus = n_cpus
+        #: per-CPU reference kinds (AccessKind values; IFETCH folded)
+        self.kinds = [array("b") for _ in range(n_cpus)]
+        #: per-CPU effective addresses
+        self.addrs = [array("q") for _ in range(n_cpus)]
+        #: per-CPU fetch pc of each reference
+        self.pcs = [array("q") for _ in range(n_cpus)]
+        self.n_records = 0
+        pcs = [_DEFAULT_PC] * n_cpus
+        for record in records:
+            cpu = record.cpu
+            if cpu >= n_cpus:
+                raise WorkloadError(
+                    f"trace references cpu {cpu} but the machine has "
+                    f"{n_cpus}"
+                )
+            self.n_records += 1
+            if record.kind == AccessKind.IFETCH:
+                pcs[cpu] = record.pc or record.addr
+                continue
+            self.kinds[cpu].append(int(record.kind))
+            self.addrs[cpu].append(record.addr)
+            self.pcs[cpu].append(pcs[cpu])
+        if self.n_records == 0:
+            raise WorkloadError("empty trace")
+
+    @classmethod
+    def from_file(cls, n_cpus: int, path: str | Path) -> "PackedTrace":
+        """Decode a trace file directly into packed columns.
+
+        A bulk parser equivalent to ``cls(n_cpus, read_trace(path))``
+        but several times faster: no :class:`TraceRecord` objects, no
+        generator hops — one loop appending straight into the columns.
+        """
+        self = cls.__new__(cls)
+        if n_cpus <= 0:
+            raise WorkloadError("n_cpus must be positive")
+        self.n_cpus = n_cpus
+        self.kinds = [array("b") for _ in range(n_cpus)]
+        self.addrs = [array("q") for _ in range(n_cpus)]
+        self.pcs = [array("q") for _ in range(n_cpus)]
+        self.n_records = 0
+        n_records = 0
+        pcs_cur = [_DEFAULT_PC] * n_cpus
+        kind_append = [column.append for column in self.kinds]
+        addr_append = [column.append for column in self.addrs]
+        pc_append = [column.append for column in self.pcs]
+        with Path(path).open() as handle:
+            for line in handle:
+                head = line[:1]
+                if head == "#" or head == "\n" or not head:
+                    continue
+                try:
+                    cpu_s, code, addr_s, pc_s = line.split()
+                    cpu = int(cpu_s)
+                except ValueError:
+                    raise ReproError(
+                        f"malformed trace line: {line.strip()!r}"
+                    ) from None
+                if cpu >= n_cpus:
+                    raise WorkloadError(
+                        f"trace references cpu {cpu} but the machine "
+                        f"has {n_cpus}"
+                    )
+                n_records += 1
+                if code == "L":
+                    kind_append[cpu](_LOAD)
+                elif code == "S":
+                    kind_append[cpu](_STORE)
+                elif code == "I":
+                    pcs_cur[cpu] = int(pc_s, 16) or int(addr_s, 16)
+                    continue
+                elif code == "C":
+                    kind_append[cpu](_SC)
+                else:
+                    raise ReproError(
+                        f"unknown access kind {code!r} in trace line "
+                        f"{line.strip()!r}"
+                    )
+                addr_append[cpu](int(addr_s, 16))
+                pc_append[cpu](pcs_cur[cpu])
+        if n_records == 0:
+            raise WorkloadError("empty trace")
+        self.n_records = n_records
+        return self
+
+    def __len__(self) -> int:
+        """Executed (non-fetch) references across all CPUs."""
+        return sum(len(kinds) for kinds in self.kinds)
+
+
+#: Small per-process memo of decoded traces: a sweep replays one
+#: recording against many configs, and under ``--jobs 1`` every point
+#: runs in this process — decoding the same file once per *trace*
+#: instead of once per *job* is most of the decode bill.
+_DECODE_CACHE: dict = {}
+_DECODE_CACHE_CAP = 8
+
+#: binary sidecar format marker; bump when the layout changes
+_SIDECAR_MAGIC = b"repro-packed-v1\n"
+
+
+def _sidecar_path(path: Path, n_cpus: int) -> Path:
+    return path.with_name(f".{path.name}.{n_cpus}.packed")
+
+
+def _read_sidecar(path: Path, n_cpus: int, stat) -> "PackedTrace | None":
+    """Load a previously written binary sidecar, or ``None``.
+
+    The header re-checks the source trace's size and mtime, so a
+    re-recorded trace can never be served a stale decode.
+    """
+    sidecar = _sidecar_path(path, n_cpus)
+    try:
+        with sidecar.open("rb") as handle:
+            if handle.read(len(_SIDECAR_MAGIC)) != _SIDECAR_MAGIC:
+                return None
+            header = array("q")
+            header.fromfile(handle, 4 + n_cpus)
+            size, mtime_ns, cpus, n_records = header[:4]
+            if (
+                size != stat.st_size
+                or mtime_ns != stat.st_mtime_ns
+                or cpus != n_cpus
+            ):
+                return None
+            packed = PackedTrace.__new__(PackedTrace)
+            packed.n_cpus = n_cpus
+            packed.n_records = n_records
+            packed.kinds = []
+            packed.addrs = []
+            packed.pcs = []
+            for c in range(n_cpus):
+                count = header[4 + c]
+                kinds = array("b")
+                addrs = array("q")
+                pcs = array("q")
+                if count:
+                    kinds.fromfile(handle, count)
+                    addrs.fromfile(handle, count)
+                    pcs.fromfile(handle, count)
+                packed.kinds.append(kinds)
+                packed.addrs.append(addrs)
+                packed.pcs.append(pcs)
+            return packed
+    except (OSError, EOFError):
+        return None
+
+
+def _write_sidecar(path: Path, n_cpus: int, stat, packed: PackedTrace):
+    """Best-effort: cache the decode as a binary sidecar beside the
+    trace (native byte order — a local cache, not an interchange
+    format). Failures (read-only store, races) are silently ignored;
+    the text trace stays the source of truth."""
+    import os
+
+    sidecar = _sidecar_path(path, n_cpus)
+    tmp = sidecar.with_name(f"{sidecar.name}.{os.getpid()}.tmp")
+    try:
+        with tmp.open("wb") as handle:
+            handle.write(_SIDECAR_MAGIC)
+            header = array("q", [
+                stat.st_size,
+                stat.st_mtime_ns,
+                n_cpus,
+                packed.n_records,
+            ])
+            header.extend(len(kinds) for kinds in packed.kinds)
+            header.tofile(handle)
+            for c in range(n_cpus):
+                packed.kinds[c].tofile(handle)
+                packed.addrs[c].tofile(handle)
+                packed.pcs[c].tofile(handle)
+        tmp.replace(sidecar)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+
+
+def load_packed(n_cpus: int, path: str | Path) -> PackedTrace:
+    """Decode ``path`` with a per-process (path, stat) memo.
+
+    The memo key includes size and mtime, so a re-recorded trace is
+    never served stale; entries evict oldest-first past the cap. On a
+    memo miss the decode is loaded from (or cached into) a binary
+    sidecar beside the trace, so across processes each trace pays the
+    text parse exactly once. The returned object is shared — callers
+    must treat it as read-only (the kernel does).
+    """
+    import os
+
+    path = Path(path)
+    stat = os.stat(path)
+    key = (os.fspath(path), n_cpus, stat.st_size, stat.st_mtime_ns)
+    packed = _DECODE_CACHE.get(key)
+    if packed is None:
+        packed = _read_sidecar(path, n_cpus, stat)
+        if packed is None:
+            packed = PackedTrace.from_file(n_cpus, path)
+            _write_sidecar(path, n_cpus, stat, packed)
+        while len(_DECODE_CACHE) >= _DECODE_CACHE_CAP:
+            _DECODE_CACHE.pop(next(iter(_DECODE_CACHE)))
+        _DECODE_CACHE[key] = packed
+    return packed
+
+
+class KernelRun(NamedTuple):
+    """Outcome of one :func:`replay_kernel` invocation."""
+
+    stats: SystemStats
+    truncated: bool
+    #: resolved topology name (the run's architectural identity)
+    arch: str
+    #: ``memory.resource_report`` over the finished run
+    resources: dict
+
+
+def replay_kernel(
+    packed: PackedTrace,
+    arch,
+    mem_config: MemConfig | None = None,
+    max_cycles: int | None = None,
+) -> KernelRun:
+    """Replay ``packed`` on ``arch`` under the Mipsy timing model.
+
+    The statistics are bit-identical
+    to building a :class:`~repro.core.system.System` over a
+    :class:`~repro.trace.replay.TraceWorkload` of the same trace and
+    running it — this function *is* that run, with the interpreter
+    machinery specialized away. Comments of the form ``System:`` /
+    ``Mipsy:`` anchor each block to the code it mirrors; any change to
+    the run loop or the Mipsy tick must land here too (the differential
+    suite catches drift).
+    """
+    from repro.core.configs import build_memory
+    from repro.mem.topology import resolve_topology
+
+    config = mem_config if mem_config is not None else MemConfig()
+    n_cpus = packed.n_cpus
+    if config.n_cpus != n_cpus:
+        raise ConfigError(
+            f"memory config has {config.n_cpus} CPUs but the trace was "
+            f"packed for {n_cpus}"
+        )
+    # System: resolve the topology before the model-specific config
+    # mutation, then build the memory against the mutated config.
+    topology = resolve_topology(arch, config)
+    config.shared_l1_optimistic = True  # Mipsy models the L1 optimistically
+    stats = SystemStats.for_cpus(n_cpus)
+    memory = build_memory(topology, config, stats)
+    functional = FunctionalMemory()
+
+    # BaseCpu.__init__: binding the per-CPU l1i counters creates their
+    # entries up front, exactly as constructing the CPUs would.
+    l1i = [stats.cache(f"cpu{c}.l1i") for c in range(n_cpus)]
+    breakdowns = stats.breakdowns
+    line_shift = memory.config.line_size.bit_length() - 1
+    fast = memory.config.l1_fast_path
+
+    kinds = packed.kinds
+    addrs = packed.addrs
+    pcs = packed.pcs
+    lengths = [len(kinds[c]) for c in range(n_cpus)]
+    index = [0] * n_cpus
+    resume = [0] * n_cpus
+    done = [False] * n_cpus
+    fetch_line = [-1] * n_cpus
+    instructions = [0] * n_cpus
+    ifetch_pending = [0] * n_cpus
+    busy_pending = [0] * n_cpus
+
+    access = memory.access
+    fast_ifetch = memory.fast_ifetch
+    fast_load = memory.fast_load
+    fast_store = memory.fast_store
+    k_ifetch = AccessKind.IFETCH
+    k_load = AccessKind.LOAD
+    k_store = AccessKind.STORE
+    k_sc = AccessKind.STORE_COND
+    lvl_l2 = StallLevel.L2
+    lvl_mem = StallLevel.MEM
+    lvl_c2c = StallLevel.C2C
+    lvl_l1 = StallLevel.L1
+    lvl_storebuf = StallLevel.STOREBUF
+
+    huge = 1 << 62
+    limit = max_cycles if max_cycles is not None else huge
+    truncated = False
+    cycle = 0
+    active = [c for c in range(n_cpus)]
+
+    # System.run: the loop skeleton — truncation checked at the top,
+    # rotating tick order over the active list, earliest-resume
+    # fast-forward. The engine queue is omitted: the memory systems
+    # never schedule events, and a replay workload has no sync
+    # primitives to schedule any either.
+    while active:
+        if cycle >= limit:
+            truncated = True
+            break
+
+        n_active = len(active)
+        rotation = cycle % n_cpus
+        finished = False
+        earliest = huge
+        for slot in range(n_active):
+            c = active[(slot + rotation) % n_active]
+            if done[c]:
+                continue
+            if resume[c] <= cycle:
+                # Mipsy.tick, flattened. Pulling past the end of the
+                # column is the interpreter's StopIteration tick: the
+                # CPU discovers completion and retires nothing.
+                i = index[c]
+                if i >= lengths[c]:
+                    done[c] = True
+                    finished = True
+                    continue
+                index[c] = i + 1
+                kind_c = kinds[c]
+                addr = addrs[c][i]
+                pc = pcs[c][i]
+
+                # Mipsy: every instruction counts one I-fetch; only
+                # line crossings probe the I-cache.
+                ifetch_pending[c] += 1
+                exec_start = cycle
+                line = pc >> line_shift
+                if line != fetch_line[c]:
+                    fetch_line[c] = line
+                    if not fast or fast_ifetch(c, pc, cycle) < 0:
+                        fetch = access(c, k_ifetch, pc, cycle)
+                        fetch_done = fetch.done
+                        if fetch_done - cycle > 1:
+                            breakdowns[c].istall += fetch_done - cycle - 1
+                            exec_start = fetch_done - 1
+
+                busy_pending[c] += 1
+                instructions[c] += 1
+
+                kind = kind_c[i]
+                if kind == _LOAD:
+                    if fast:
+                        at = fast_load(c, addr, exec_start)
+                        if at >= 0:
+                            stall = at - exec_start - 1
+                            if stall > 0:
+                                breakdowns[c].l1d += stall
+                            resume[c] = at
+                            if at < earliest:
+                                earliest = at
+                            continue
+                    result = access(c, k_load, addr, exec_start)
+                elif kind == _STORE:
+                    if fast:
+                        at = fast_store(c, addr, exec_start)
+                        if at >= 0:
+                            stall = at - exec_start - 1
+                            if stall > 0:
+                                breakdowns[c].storebuf += stall
+                            resume[c] = at
+                            if at < earliest:
+                                earliest = at
+                            continue
+                    result = access(c, k_store, addr, exec_start)
+                else:
+                    result = access(c, k_sc, addr, exec_start)
+
+                stall = result.done - exec_start - 1
+                if stall > 0:
+                    level = result.level
+                    breakdown = breakdowns[c]
+                    if level == lvl_l2:
+                        breakdown.l2 += stall
+                    elif level == lvl_mem:
+                        breakdown.mem += stall
+                    elif level == lvl_c2c:
+                        breakdown.c2c += stall
+                    elif level == lvl_l1:
+                        breakdown.l1d += stall
+                    elif level == lvl_storebuf:
+                        breakdown.storebuf += stall
+                    else:
+                        breakdown.l1d += stall
+                if kind == _SC:
+                    # BaseCpu.apply_memory_semantics: the SC consults
+                    # the functional memory (with no recorded
+                    # reservation it deterministically fails and
+                    # writes nothing — the recorded stream already
+                    # contains the original run's retries).
+                    functional.store_conditional(
+                        c, addr, 0, result.visible_cycle
+                    )
+                resume[c] = result.done
+
+            r = resume[c]
+            if r < earliest:
+                earliest = r
+        if finished:
+            active = [c for c in active if not done[c]]
+            if not active:
+                break
+
+        next_cycle = cycle + 1
+        if earliest > next_cycle:
+            next_cycle = earliest
+        cycle = next_cycle
+
+    # System.run epilogue: fold the batched counters, account the
+    # drain, stamp totals. (finish() and validate() are no-ops for
+    # Mipsy and trace replay.)
+    for c in range(n_cpus):
+        if ifetch_pending[c]:
+            l1i[c].reads += ifetch_pending[c]
+        if busy_pending[c]:
+            breakdowns[c].busy += busy_pending[c]
+    end_cycle = max(resume)
+    end_cycle = max(end_cycle, memory.drain(cycle))
+    stats.cycles = end_cycle
+    stats.instructions = sum(instructions)
+    return KernelRun(
+        stats=stats,
+        truncated=truncated,
+        arch=topology.name,
+        resources=memory.resource_report(max(end_cycle, 1)),
+    )

@@ -66,16 +66,24 @@ class TraceWorkload(Workload):
         for record in self.streams[cpu_id]:
             if record.kind == AccessKind.IFETCH:
                 # The fetch itself: subsequent references execute at
-                # this pc (advancing normally).
+                # this pc. The pc stays *constant* until the next
+                # recorded fetch, so the replaying CPU's line-crossing
+                # probe fires exactly where the recorded stream fetched
+                # — the I-cache sees the recorded stream, nothing more.
                 pc = record.pc or record.addr
                 continue
-            op = (
-                OpClass.LOAD
-                if record.kind == AccessKind.LOAD
-                else OpClass.STORE
-            )
+            if record.kind == AccessKind.LOAD:
+                op = OpClass.LOAD
+            elif record.kind == AccessKind.STORE_COND:
+                # Replayed SCs re-issue as SCs: the bus/coherence
+                # traffic of a conditional store is reproduced, and
+                # with no recorded reservations every replayed SC
+                # fails deterministically (the recorded stream already
+                # contains the retry references the original run made).
+                op = OpClass.SC
+            else:
+                op = OpClass.STORE
             yield Instruction(op, pc=pc, addr=record.addr)
-            pc += 4
             self.replayed += 1
 
 

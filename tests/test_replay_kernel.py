@@ -1,0 +1,315 @@
+"""Differential contract of the batch replay kernel.
+
+The kernel (``repro.trace.kernel``) claims *bit-identical*
+``SystemStats`` with interpreter-mode replay of the same trace — that
+contract is what makes it safe to route sweeps through the fast path
+silently. This suite pins it on every preset topology for both traced
+workloads, plus the surrounding plumbing: the content-addressed
+:class:`TraceStore`, the ``Job(replay=True)`` lane and its cache-key
+separation, and record -> replay -> record determinism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import LoopWorkload
+
+from repro.core.configs import config_for_scale
+from repro.core.runner import Job
+from repro.core.system import System
+from repro.errors import ConfigError
+from repro.mem.functional import FunctionalMemory
+from repro.mem.topology import topology_names
+from repro.trace.format import canonical_order, read_trace, write_trace
+from repro.trace.kernel import PackedTrace, load_packed, replay_kernel
+from repro.trace.recorder import record_run
+from repro.trace.replay import TraceWorkload
+from repro.trace.store import TraceStore
+
+PRESETS = topology_names()
+WORKLOADS = ("eqntott", "fft")
+N_CPUS = 4
+
+
+@pytest.fixture(scope="session")
+def trace_store(tmp_path_factory):
+    """One store for the whole session: recording is the slow part."""
+    return TraceStore(tmp_path_factory.mktemp("traces"))
+
+
+@pytest.fixture(scope="session")
+def traces(trace_store):
+    """Recorded test-scale traces, one per workload."""
+    return {
+        name: trace_store.get_or_record(name, "test", N_CPUS)
+        for name in WORKLOADS
+    }
+
+
+def interpreter_replay_stats(arch, trace_path, cpu_model="mipsy"):
+    """Replay through the ordinary System, as run_replay's slow path does."""
+    functional = FunctionalMemory()
+    workload = TraceWorkload.from_file(N_CPUS, functional, trace_path)
+    system = System(
+        arch,
+        workload,
+        cpu_model=cpu_model,
+        mem_config=config_for_scale("test", N_CPUS),
+        max_cycles=50_000_000,
+    )
+    system.run()
+    assert not system.truncated
+    return system.stats
+
+
+# ----------------------------------------------------------------------
+# the differential contract
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("arch", PRESETS)
+def test_kernel_bit_identical_to_interpreter(arch, workload, traces):
+    """The load-bearing invariant: same trace, same config -> the
+    kernel's stats equal the interpreter's, field for field."""
+    path = traces[workload]
+    packed = PackedTrace.from_file(N_CPUS, path)
+    outcome = replay_kernel(
+        packed, arch, mem_config=config_for_scale("test", N_CPUS)
+    )
+    assert not outcome.truncated
+    expected = interpreter_replay_stats(arch, path)
+    assert outcome.stats.to_dict() == expected.to_dict()
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("arch", PRESETS)
+def test_mxs_replay_lane_matches_direct_interpreter(
+    arch, workload, traces, trace_store
+):
+    """MXS has no kernel: the lane must fall back to the interpreter
+    and produce exactly what a hand-built replay run produces."""
+    job = Job(
+        arch=arch,
+        workload=workload,
+        cpu_model="mxs",
+        scale="test",
+        n_cpus=N_CPUS,
+        replay=True,
+        trace_dir=str(trace_store.root),
+    )
+    result = job.run()
+    expected = interpreter_replay_stats(
+        arch, traces[workload], cpu_model="mxs"
+    )
+    assert result.stats.to_dict() == expected.to_dict()
+    assert result.extras["backend"] == "replay"
+    assert result.extras["replay"]["engine"] == "interpreter"
+
+
+def test_mipsy_replay_lane_uses_the_kernel(traces, trace_store):
+    job = Job(
+        arch="shared-l2",
+        workload="eqntott",
+        scale="test",
+        n_cpus=N_CPUS,
+        replay=True,
+        trace_dir=str(trace_store.root),
+    )
+    result = job.run()
+    assert result.extras["backend"] == "replay"
+    assert result.extras["replay"]["engine"] == "kernel"
+    assert result.workload == "eqntott"
+    expected = interpreter_replay_stats("shared-l2", traces["eqntott"])
+    assert result.stats.to_dict() == expected.to_dict()
+
+
+def test_kernel_identical_with_fast_lane_off(traces):
+    """The fast lane is a pure host optimization in the kernel too."""
+    path = traces["eqntott"]
+    packed = PackedTrace.from_file(N_CPUS, path)
+    with_lane = replay_kernel(
+        packed, "shared-l2", mem_config=config_for_scale("test", N_CPUS)
+    )
+    config = config_for_scale("test", N_CPUS).with_overrides(
+        l1_fast_path=False
+    )
+    without_lane = replay_kernel(packed, "shared-l2", mem_config=config)
+    assert with_lane.stats.to_dict() == without_lane.stats.to_dict()
+
+
+def test_kernel_rejects_cpu_count_mismatch(traces):
+    packed = PackedTrace.from_file(N_CPUS, traces["eqntott"])
+    with pytest.raises(ConfigError):
+        replay_kernel(
+            packed, "shared-l2", mem_config=config_for_scale("test", 8)
+        )
+
+
+def test_kernel_truncation(traces):
+    packed = PackedTrace.from_file(N_CPUS, traces["eqntott"])
+    outcome = replay_kernel(
+        packed,
+        "shared-l2",
+        mem_config=config_for_scale("test", N_CPUS),
+        max_cycles=100,
+    )
+    assert outcome.truncated
+
+
+# ----------------------------------------------------------------------
+# determinism: record -> replay -> record is a fixed point
+
+
+@pytest.mark.parametrize("arch", PRESETS)
+def test_record_replay_record_byte_identical(arch, tmp_path):
+    """Replaying a canonical trace and re-recording it reproduces the
+    file byte for byte, on every preset (cluster-l1 at its full 16
+    CPUs). Constant-pc replay plus canonical per-CPU ordering make the
+    trace a fixed point of the record cycle."""
+    n_cpus = 16 if arch == "cluster-l1" else 4
+    config = config_for_scale("test", n_cpus)
+    functional = FunctionalMemory()
+    workload = LoopWorkload(n_cpus, functional, iterations=3)
+    source = System(
+        arch, workload, mem_config=config, max_cycles=2_000_000
+    )
+    recorder = record_run(source)
+    assert not source.truncated
+    first = tmp_path / "first.trace"
+    write_trace(first, canonical_order(recorder.records))
+
+    replay_config = config_for_scale("test", n_cpus)
+    replay = System(
+        arch,
+        TraceWorkload.from_file(n_cpus, FunctionalMemory(), first),
+        mem_config=replay_config,
+        max_cycles=2_000_000,
+    )
+    re_recorder = record_run(replay)
+    assert not replay.truncated
+    second = tmp_path / "second.trace"
+    write_trace(second, canonical_order(re_recorder.records))
+
+    assert first.read_bytes() == second.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# packed decode
+
+
+def test_bulk_parser_matches_record_constructor(traces):
+    path = traces["eqntott"]
+    fast = PackedTrace.from_file(N_CPUS, path)
+    slow = PackedTrace(N_CPUS, read_trace(path))
+    assert fast.n_records == slow.n_records
+    assert fast.kinds == slow.kinds
+    assert fast.addrs == slow.addrs
+    assert fast.pcs == slow.pcs
+
+
+def test_load_packed_memoizes(traces):
+    path = traces["fft"]
+    first = load_packed(N_CPUS, path)
+    again = load_packed(N_CPUS, path)
+    assert again is first
+
+
+def test_binary_sidecar_round_trips(tmp_path, traces):
+    """A cold process loads the cached binary decode instead of
+    re-parsing the text — and gets identical columns."""
+    import shutil
+
+    from repro.trace.kernel import (
+        _DECODE_CACHE,
+        _read_sidecar,
+        _sidecar_path,
+    )
+
+    path = tmp_path / "t.trace"
+    shutil.copy(traces["eqntott"], path)
+    direct = PackedTrace.from_file(N_CPUS, path)
+    loaded = load_packed(N_CPUS, path)  # decodes + writes the sidecar
+    sidecar = _sidecar_path(path, N_CPUS)
+    assert sidecar.is_file()
+
+    _DECODE_CACHE.clear()  # simulate a fresh process
+    import os
+
+    from_sidecar = _read_sidecar(path, N_CPUS, os.stat(path))
+    assert from_sidecar is not None
+    assert from_sidecar.n_records == direct.n_records
+    assert from_sidecar.kinds == direct.kinds
+    assert from_sidecar.addrs == direct.addrs
+    assert from_sidecar.pcs == direct.pcs
+
+    # A re-recorded (touched) trace must not be served the stale decode.
+    path.write_text(path.read_text() + "0 L 10 0\n")
+    os.utime(path, ns=(1, 1))
+    assert _read_sidecar(path, N_CPUS, os.stat(path)) is None
+    fresh = load_packed(N_CPUS, path)
+    assert fresh.n_records == loaded.n_records + 1
+
+
+# ----------------------------------------------------------------------
+# the trace store
+
+
+def test_store_records_once(trace_store):
+    first = trace_store.get_or_record("eqntott", "test", N_CPUS)
+    mtime = first.stat().st_mtime_ns
+    second = trace_store.get_or_record("eqntott", "test", N_CPUS)
+    assert second == first
+    assert second.stat().st_mtime_ns == mtime  # no re-record
+
+
+def test_store_key_separates_specs(trace_store):
+    base = trace_store.key("eqntott", "test", 4)
+    assert trace_store.key("fft", "test", 4) != base
+    assert trace_store.key("eqntott", "test", 8) != base
+    assert trace_store.key("eqntott", "small", 4) != base
+
+
+def test_store_rejects_factory_workloads(trace_store):
+    with pytest.raises(ConfigError):
+        trace_store.spec(LoopWorkload, "test", 4)
+
+
+def test_replay_job_rejects_factory_workloads(tmp_path):
+    job = Job(
+        arch="shared-l2",
+        workload=lambda n, f, s: LoopWorkload(n, f),
+        replay=True,
+        trace_dir=str(tmp_path),
+    )
+    with pytest.raises(ConfigError):
+        job.run()
+
+
+# ----------------------------------------------------------------------
+# cache-key separation of the replay lane
+
+
+def test_replay_jobs_key_apart_from_generated_jobs():
+    generated = Job(arch="shared-l2", workload="eqntott", scale="test")
+    replayed = Job(
+        arch="shared-l2", workload="eqntott", scale="test", replay=True
+    )
+    assert replayed.key() != generated.key()
+    assert generated.spec()["backend"] == "interpreter"
+    assert replayed.spec()["backend"] == "replay"
+    assert replayed.label().endswith("(replay)")
+
+
+def test_trace_dir_is_policy_not_identity():
+    plain = Job(
+        arch="shared-l2", workload="eqntott", scale="test", replay=True
+    )
+    pointed = Job(
+        arch="shared-l2",
+        workload="eqntott",
+        scale="test",
+        replay=True,
+        trace_dir="/tmp/elsewhere",
+    )
+    assert pointed.key() == plain.key()

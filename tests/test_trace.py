@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import LoopWorkload, build_system
+from conftest import LoopWorkload, SharingWorkload, build_system
 
 from repro.core.configs import test_config as make_test_config
 from repro.core.system import System
@@ -31,10 +31,14 @@ def test_record_round_trips_through_text():
     assert TraceRecord.from_line(record.to_line()) == record
 
 
-def test_sc_records_as_plain_store():
+def test_sc_round_trips_as_its_own_code():
+    """Regression: store-conditionals used to collapse to plain stores
+    on the way to disk, so a replayed sync-heavy stream issued cheaper
+    references than the recorded run. They get their own code now."""
     record = TraceRecord(0, AccessKind.STORE_COND, 0x100, 0)
-    parsed = TraceRecord.from_line(record.to_line())
-    assert parsed.kind == AccessKind.STORE
+    line = record.to_line()
+    assert line.split()[1] == "C"
+    assert TraceRecord.from_line(line) == record
 
 
 def test_malformed_lines_rejected():
@@ -158,6 +162,43 @@ def test_replay_rejects_out_of_range_cpu():
     records = [TraceRecord(7, AccessKind.LOAD, 0x100, 0)]
     with pytest.raises(WorkloadError):
         TraceWorkload(4, FunctionalMemory(), records)
+
+
+def test_sync_heavy_stream_replays_with_same_kind_sequence(tmp_path):
+    """Regression for the STORE_COND -> S collapse: a barrier-heavy
+    recording must replay its SCs *as* SCs, so re-recording the replay
+    yields the same per-CPU data-reference sequence."""
+    source = build_system("shared-l2", SharingWorkload, rounds=2)
+    recorder = record_run(source, tmp_path / "sync.trace")
+    recorded_kinds = {r.kind for r in recorder.records}
+    assert AccessKind.STORE_COND in recorded_kinds  # barrier uses LL/SC
+
+    # The file round-trips the kind sequence exactly.
+    reloaded = list(read_trace(tmp_path / "sync.trace"))
+    assert [r.kind for r in reloaded] == [
+        r.kind for r in recorder.records
+    ]
+
+    # Replaying re-issues those SCs; re-record and compare per CPU.
+    replay = System(
+        "shared-l2",
+        TraceWorkload.from_file(4, FunctionalMemory(), tmp_path / "sync.trace"),
+        mem_config=make_test_config(),
+        max_cycles=2_000_000,
+    )
+    re_recorder = record_run(replay)
+
+    def data_refs(records, cpu):
+        return [
+            (r.kind, r.addr)
+            for r in records
+            if r.cpu == cpu and r.kind != AccessKind.IFETCH
+        ]
+
+    for cpu in range(4):
+        assert data_refs(re_recorder.records, cpu) == data_refs(
+            recorder.records, cpu
+        )
 
 
 def test_replay_uses_recorded_fetch_pcs(tmp_path):
