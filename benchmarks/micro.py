@@ -22,6 +22,15 @@ Five scenarios, each chosen to stress one layer of the simulator:
   the kernel's speedup per architecture, not just end-to-end; the
   differential suite keeps their statistics bit-identical, so any gap
   here is pure host performance.
+* ``probe_hit_storm`` / ``probe_miss_storm`` / ``probe_snoop_storm`` —
+  the packed-array probe core measured in isolation, per memory
+  system, with no CPUs or run loop in the way: resident-line loads
+  through the per-CPU fast lanes (the L1-hit floor), line-strided
+  ``access()`` walks through the miss/fill/evict machinery, and
+  ownership ping-pong stores that drive the coherence/invalidate
+  walks. These records (``cpu_model`` = ``probe``) are the bench
+  gate's direct pin on the probe layer — they are enforced even where
+  the end-to-end records only warn (``bench_gate.py --enforce``).
 
 Output is JSON (``--out``, default ``benchmarks/results/microbench.json``)
 with one record per (scenario, arch, cpu_model): host wall seconds,
@@ -284,6 +293,130 @@ def replay_pair_records(quick: bool, repeat: int) -> list[dict]:
     return records
 
 
+#: memory systems the probe-layer storms cover (every topology whose
+#: hot paths ride the packed probe core)
+PROBE_ARCHS = ("shared-l1", "shared-l2", "shared-mem", "shared-l3")
+
+
+def probe_layer_records(quick: bool, repeat: int) -> list[dict]:
+    """Measure the packed probe core directly, per memory system.
+
+    No CPUs and no run loop: each storm drives the memory system's own
+    entry points — the per-CPU fast lanes for the hit storm, the
+    general ``access()`` path for the miss and snoop storms — so the
+    numbers isolate the tag-array/coherence machinery the end-to-end
+    benches only see blended with everything else. Records carry
+    ``cpu_model`` = ``probe``; the bench gate enforces them even in
+    warn-only CI runs (they are tight in-process loops, far less noisy
+    than wall-clock end-to-end records).
+    """
+    from repro.core.configs import build_memory, config_for_scale
+    from repro.mem.types import AccessKind
+    from repro.sim.stats import SystemStats
+
+    n_cpus = 4
+    shrink = 8 if quick else 1
+    hit_rounds = 12_000 // shrink
+    miss_rounds = 1_600 // shrink
+    snoop_rounds = 4_000 // shrink
+    line = 32
+    #: per-CPU private blocks far apart (never the same set or line)
+    private_base = [0x10000 + cpu * 0x4000 for cpu in range(n_cpus)]
+    hit_lines = 8
+
+    def build(arch):
+        config = config_for_scale("test", n_cpus)
+        stats = SystemStats.for_cpus(n_cpus)
+        return build_memory(arch, config, stats)
+
+    def hit_storm():
+        mem = build(arch)
+        load = AccessKind.LOAD
+        at = 0
+        # Warm: one general access per (cpu, line) makes them resident.
+        for cpu in range(n_cpus):
+            for index in range(hit_lines):
+                at = mem.access(
+                    cpu, load, private_base[cpu] + index * line, at
+                ).done
+        lanes = [mem.fast_lanes(cpu)[1] for cpu in range(n_cpus)]
+        count = 0
+        for _ in range(hit_rounds):
+            for cpu in range(n_cpus):
+                lane = lanes[cpu]
+                base = private_base[cpu]
+                for index in range(hit_lines):
+                    done = lane(base + index * line, at)
+                    if done < 0:  # lane declined: take the general path
+                        done = mem.access(
+                            cpu, load, base + index * line, at
+                        ).done
+                    at = done
+                    count += 1
+        return count
+
+    def miss_storm():
+        mem = build(arch)
+        load = AccessKind.LOAD
+        config = mem.config
+        # Stride over 4x the L1 capacity: every revisit misses again.
+        walk_lines = 4 * (config.l1d_size // line)
+        at = 0
+        count = 0
+        for _ in range(miss_rounds):
+            for cpu in range(n_cpus):
+                addr = private_base[cpu] + (count % walk_lines) * line
+                at = mem.access(cpu, load, addr, at).done
+                count += 1
+        return count
+
+    def snoop_storm():
+        mem = build(arch)
+        load = AccessKind.LOAD
+        store = AccessKind.STORE
+        shared = 0x8000
+        at = 0
+        count = 0
+        for round_ in range(snoop_rounds):
+            addr = shared + (round_ % hit_lines) * line
+            # Everyone reads the line, then one CPU takes ownership —
+            # the store walks/invalidates every other copy.
+            for cpu in range(n_cpus):
+                at = mem.access(cpu, load, addr, at).done
+                count += 1
+            at = mem.access(round_ % n_cpus, store, addr, at).done
+            count += 1
+        return count
+
+    records = []
+    for arch in PROBE_ARCHS:
+        for name, fn in (
+            ("probe_hit_storm", hit_storm),
+            ("probe_miss_storm", miss_storm),
+            ("probe_snoop_storm", snoop_storm),
+        ):
+            # Best-of-3 floor even when --repeat is 1: these records
+            # are enforced by the gate, so their minima must not
+            # wobble with host load the way one-shot timings do.
+            count, wall = time_call(fn, repeat=max(repeat, 3))
+            rate = count / wall if wall > 0 else 0.0
+            records.append({
+                "name": name,
+                "arch": arch,
+                "cpu_model": "probe",
+                "wall_seconds": round(wall, 4),
+                "accesses": count,
+                "accesses_per_host_second": round(rate),
+            })
+            print(
+                f"  {name:<20} {arch:<10} {'probe':<6} "
+                f"{wall:7.3f}s  {count:>10} acc  "
+                f"{rate / 1e6:6.2f} Ma/s",
+                flush=True,
+            )
+    return records
+
+
 def run_benches(quick: bool, repeat: int) -> dict:
     """Execute every bench in-process; returns the JSON payload."""
     records = []
@@ -305,6 +438,7 @@ def run_benches(quick: bool, repeat: int) -> dict:
             f"{sim_speed(stats.cycles, wall) / 1e6:6.2f} Mc/s",
             flush=True,
         )
+    records.extend(probe_layer_records(quick, repeat))
     records.extend(replay_pair_records(quick, repeat))
     return {
         "when": time.strftime("%Y-%m-%dT%H:%M:%S"),

@@ -75,8 +75,8 @@ def compare(
     current: dict[tuple, dict],
     tolerance: float,
     min_delta: float = 0.05,
-) -> list[str]:
-    """Return one message per regressed record (empty = gate passes).
+) -> list[tuple[str, str]]:
+    """Return ``(record_name, message)`` per regression (empty = pass).
 
     A record regresses only if it is both ``tolerance`` *relatively*
     slower and ``min_delta`` seconds *absolutely* slower — on
@@ -107,11 +107,12 @@ def compare(
             f"({100 * (ratio - 1):+6.1f}%){marker}"
         )
         if marker:
-            regressions.append(
+            regressions.append((
+                key[0],
                 f"{label}: {base_wall:.3f}s -> {fresh_wall:.3f}s "
                 f"({100 * (ratio - 1):+.1f}%, tolerance "
-                f"{100 * tolerance:.0f}%)"
-            )
+                f"{100 * tolerance:.0f}%)",
+            ))
     return regressions
 
 
@@ -135,7 +136,7 @@ def check_runner_trajectory(
     path: pathlib.Path,
     tolerance: float,
     min_delta: float = 0.5,
-) -> list[str]:
+) -> list[tuple[str, str]]:
     """Compare the newest bench_runner entry against its own profile.
 
     Returns regression messages (empty = passes). The newest entry is
@@ -176,10 +177,11 @@ def check_runner_trajectory(
         f"({100 * (ratio - 1):+6.1f}%){marker}"
     )
     if regressed:
-        return [
+        return [(
+            "runner",
             f"runner[{label}]: {prev_wall:.3f}s -> {fresh_wall:.3f}s "
-            f"({100 * (ratio - 1):+.1f}%, tolerance {100 * tolerance:.0f}%)"
-        ]
+            f"({100 * (ratio - 1):+.1f}%, tolerance {100 * tolerance:.0f}%)",
+        )]
     return []
 
 
@@ -207,6 +209,13 @@ def main(argv: list[str] | None = None) -> int:
         help="report regressions but always exit 0 (for noisy CI hosts)",
     )
     parser.add_argument(
+        "--enforce", action="append", default=[], metavar="PREFIX",
+        help="record-name prefixes whose regressions fail the gate even "
+             "under --warn-only (e.g. 'probe_' for the probe-core storms, "
+             "which are tight in-process loops and far less noisy than "
+             "the end-to-end records)",
+    )
+    parser.add_argument(
         "--runner-baseline", metavar="PATH", default=str(DEFAULT_RUNNER),
         help=f"bench_runner.json trajectory file (default {DEFAULT_RUNNER})",
     )
@@ -216,7 +225,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    regressions: list[str] = []
+    regressions: list[tuple[str, str]] = []
     baseline_path = pathlib.Path(args.baseline)
     if not baseline_path.exists():
         print(f"no baseline at {baseline_path}; nothing to gate against")
@@ -248,11 +257,21 @@ def main(argv: list[str] | None = None) -> int:
 
     if regressions:
         print(f"\n{len(regressions)} regression(s):")
-        for message in regressions:
+        for _, message in regressions:
             print(f"  {message}")
-        if args.warn_only:
+        enforced = [
+            message
+            for name, message in regressions
+            if any(name.startswith(prefix) for prefix in args.enforce)
+        ]
+        if args.warn_only and not enforced:
             print("warn-only mode: exiting 0 anyway")
             return 0
+        if args.warn_only:
+            print(
+                f"{len(enforced)} regression(s) match an --enforce prefix; "
+                "failing despite --warn-only"
+            )
         return 1
     print("no regressions")
     return 0

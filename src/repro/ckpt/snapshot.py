@@ -28,11 +28,13 @@ in a fresh process → run-to-end* produce bit-identical
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.errors import CheckpointError
 from repro.isa.instructions import Instruction, OpClass
 from repro.mem.bank import BankedResource, Resource
 from repro.mem.bus import SnoopyBus
-from repro.mem.cache import CacheArray, CacheLine, LineState
+from repro.mem.cache import CacheArray
 from repro.mem.coherence.directory import Directory
 from repro.mem.crossbar import Crossbar, MultistageCrossbar
 from repro.mem.mainmem import MainMemory
@@ -44,9 +46,23 @@ SNAPSHOT_FORMAT = "repro.ckpt/1"
 
 #: Memory-system attributes that are not simulation state: ``config``
 #: is immutable input, ``stats`` restores through ``SystemStats``,
-#: ``obs`` restores through the observation block, and the snoop
-#: controller holds only references to caches serialized elsewhere.
-_SKIP_MEMORY_ATTRS = frozenset({"config", "stats", "obs", "snoop", "topology"})
+#: ``obs`` restores through the observation block, the snoop
+#: controller holds only references to caches serialized elsewhere,
+#: and the ``_lane_*`` lists are per-CPU fast-path closures over the
+#: packed cache arrays — pure code, rebuilt by the constructor, that
+#: read the restored arrays in place.
+_SKIP_MEMORY_ATTRS = frozenset(
+    {
+        "config",
+        "stats",
+        "obs",
+        "snoop",
+        "topology",
+        "_lane_ifetch",
+        "_lane_load",
+        "_lane_store",
+    }
+)
 
 _MXS_STATS_FIELDS = (
     "cycles",
@@ -139,11 +155,11 @@ def _encode_component(value):
     if isinstance(value, list):
         return [_encode_component(item) for item in value]
     if isinstance(value, CacheArray):
+        # export_sets() emits each set's lines in LRU order — the same
+        # order the historical dict-of-lines representation serialized —
+        # so the repro.ckpt/1 wire format is unchanged.
         return {
-            "sets": [
-                [[line.line_addr, int(line.state)] for line in s.values()]
-                for s in value._sets
-            ],
+            "sets": value.export_sets(),
             "invalidated": sorted(value.tracker._invalidated),
         }
     if isinstance(value, Crossbar):
@@ -232,13 +248,10 @@ def _restore_component(value, data) -> None:
                 f"cache {value.name!r} geometry mismatch: "
                 f"{value.n_sets} sets live vs {len(sets)} checkpointed"
             )
-        value._sets = [
-            {
-                line_addr: CacheLine(line_addr, LineState(state))
-                for line_addr, state in recorded
-            }
-            for recorded in sets
-        ]
+        # In place: fast-lane probe closures capture the cache's
+        # columns by reference; import_sets re-stamps the stored (LRU)
+        # order, preserving every future replacement decision.
+        value.import_sets(sets)
         value.tracker._invalidated = set(data["invalidated"])
         return
     if isinstance(value, Crossbar):
@@ -270,7 +283,7 @@ def _restore_component(value, data) -> None:
         _restore_resource(value, data)
         return
     if isinstance(value, WriteBuffer):
-        value._pending = list(data["pending"])
+        value._pending = deque(data["pending"])
         value._last_visible = data["last_visible"]
         value.full_stalls = data["full_stalls"]
         value.stores = data["stores"]
@@ -581,6 +594,13 @@ def _restore_cpu(cpu, state: dict) -> None:
     cpu._started = state["started"]
     cpu._ifetch_pending = state["ifetch_pending"]
     cpu._busy_pending = state["busy_pending"]
+    if hasattr(cpu, "_flushed_instructions"):
+        # Delta-folding models (Mipsy) derive busy/ifetch counts from
+        # the instruction counter; the restored stats already hold
+        # everything up to the snapshot, so the fold baseline must
+        # match the restored count (any unflushed remainder rides the
+        # pending fields above).
+        cpu._flushed_instructions = cpu.instructions
     # Chained checkpoints need the full history from cycle zero.
     cpu._ckpt_log = list(replay["log"])
     cpu._ckpt_advances = replay["advances"]

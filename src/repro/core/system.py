@@ -154,15 +154,31 @@ class System:
         next_watchdog = cycle + watchdog_stride
         huge = 1 << 62
         max_cycles = self.max_cycles if self.max_cycles is not None else huge
+        # Batching models may retire instructions ahead of the loop but
+        # never at or past a truncation/pause boundary — the batched and
+        # unbatched instruction streams must be identical up to either.
+        horizon = pause if pause < max_cycles else max_cycles
+        for cpu in self.cpus:
+            cpu._batch_horizon = horizon
         obs = self.obs
         sampler = obs.sampler if obs is not None else None
         next_sample = sampler.next_boundary if sampler is not None else huge
 
+        # Precompute the per-rotation tick orders: the inner loop then
+        # walks a ready-made list instead of doing modular index
+        # arithmetic per CPU per cycle. Rebuilt whenever ``active``
+        # changes (rare — only when a CPU finishes).
+        n_active = len(active)
+        orders = [
+            [active[(index + r) % n_active] for index in range(n_active)]
+            for r in range(n_cpus)
+        ] if active else []
+
         while active:
-            # Truncation is checked at the top so a max_cycles landing
-            # inside a fast-forward window stops the run before any CPU
-            # ticks past the limit (and before the watchdog can mistake
-            # the jump for a deadlock).
+            # Truncation is checked before any work so a max_cycles
+            # landing inside a fast-forward window stops the run before
+            # any CPU ticks past the limit (and before the watchdog can
+            # mistake the jump for a deadlock).
             if cycle >= max_cycles:
                 self.truncated = True
                 break
@@ -174,37 +190,8 @@ class System:
                 self.paused = True
                 break
 
-            if obs is not None:
-                obs.now = cycle
-                if cycle >= next_sample:
-                    next_sample = sampler.sample_until(cycle)
-
-            if equeue and equeue[0].time <= cycle:
-                engine.run_until(cycle)
-
-            n_active = len(active)
-            rotation = cycle % n_cpus
-            finished = False
-            # Tick every ready CPU; collect the earliest resume of the
-            # still-running ones in the same pass (the values are final
-            # once each CPU has ticked).
-            earliest = huge
-            for index in range(n_active):
-                cpu = active[(index + rotation) % n_active]
-                if cpu.done:
-                    continue
-                if cpu.resume <= cycle:
-                    cpu.tick(cycle)
-                    if cpu.done:
-                        finished = True
-                        continue
-                resume = cpu.resume
-                if resume < earliest:
-                    earliest = resume
-            if finished:
-                active = [cpu for cpu in active if not cpu.done]
-                if not active:
-                    break
+            if obs is not None and cycle >= next_sample:
+                next_sample = sampler.sample_until(cycle)
 
             if cycle >= next_watchdog:
                 next_watchdog = cycle + watchdog_stride
@@ -224,15 +211,65 @@ class System:
                         ),
                     )
 
-            # Fast-forward to the next cycle anyone can make progress.
-            next_cycle = cycle + 1
-            if earliest > next_cycle:
-                next_cycle = earliest
-            if equeue:
-                pending = engine.peek_time()
-                if pending is not None and pending < next_cycle:
-                    next_cycle = pending if pending > cycle else cycle + 1
-            cycle = next_cycle
+            # Inner hot loop: run straight cycles up to the nearest
+            # boundary (truncation, pause, watchdog, sample), which the
+            # outer iteration re-checks — each boundary still lands
+            # before its cycle does any work, exactly as when every
+            # check sat in the per-cycle path.
+            bound = max_cycles
+            if pause < bound:
+                bound = pause
+            if next_watchdog < bound:
+                bound = next_watchdog
+            if next_sample < bound:
+                bound = next_sample
+            while cycle < bound:
+                if obs is not None:
+                    obs.now = cycle
+
+                if equeue and equeue[0].time <= cycle:
+                    engine.run_until(cycle)
+
+                finished = False
+                # Tick every ready CPU; collect the earliest resume of
+                # the still-running ones in the same pass (the values
+                # are final once each CPU has ticked).
+                earliest = huge
+                for cpu in orders[cycle % n_cpus]:
+                    if cpu.done:
+                        continue
+                    if cpu.resume <= cycle:
+                        cpu.tick(cycle)
+                        if cpu.done:
+                            finished = True
+                            continue
+                    resume = cpu.resume
+                    if resume < earliest:
+                        earliest = resume
+                if finished:
+                    active = [cpu for cpu in active if not cpu.done]
+                    if not active:
+                        break
+                    n_active = len(active)
+                    orders = [
+                        [
+                            active[(index + r) % n_active]
+                            for index in range(n_active)
+                        ]
+                        for r in range(n_cpus)
+                    ]
+
+                # Fast-forward to the next cycle anyone can progress.
+                next_cycle = cycle + 1
+                if earliest > next_cycle:
+                    next_cycle = earliest
+                if equeue:
+                    pending = engine.peek_time()
+                    if pending is not None and pending < next_cycle:
+                        next_cycle = pending if pending > cycle else cycle + 1
+                cycle = next_cycle
+            if not active:
+                break
 
         # Fold the CPUs' batched hot-loop counters into the stats
         # before anything reads them (truncated runs skip finish()).

@@ -41,8 +41,13 @@ class BaseCpu(ABC):
         "_send_value",
         "_started",
         "_fast_lane",
+        "_batchable",
+        "_lane_ifetch",
+        "_lane_load",
+        "_lane_store",
         "_ifetch_pending",
         "_busy_pending",
+        "_batch_horizon",
         "_obs",
         "_ckpt_log",
         "_ckpt_advances",
@@ -57,7 +62,6 @@ class BaseCpu(ABC):
         program: ThreadProgram,
     ) -> None:
         self.cpu_id = cpu_id
-        self.memory = memory
         self.functional = functional
         self.stats = stats
         self.breakdown = stats.breakdowns[cpu_id]
@@ -71,15 +75,35 @@ class BaseCpu(ABC):
         self._send_value: object = None
         self._started = False
         self._fast_lane = memory.config.l1_fast_path
+        self.bind_memory(memory)
         # Hot-loop counters batched as plain ints; folded into the
         # stats objects by flush_stats() at stall/run boundaries.
         self._ifetch_pending = 0
         self._busy_pending = 0
+        # Models that retire ahead of the run loop (Mipsy's compute-run
+        # batching) must not execute instructions at or past this cycle;
+        # System.run pins it to min(max_cycles, pause_at) each call.
+        self._batch_horizon = 1 << 62
         # Attached Observation (None = no instrumentation anywhere).
         self._obs = None
         # Checkpoint recording (None = off; see enable_ckpt_recording).
         self._ckpt_log: list | None = None
         self._ckpt_advances = 0
+
+    def bind_memory(self, memory: MemorySystem) -> None:
+        """Point this CPU at ``memory`` and bind its fast-lane closures.
+
+        The models call the bound per-CPU lanes directly on their
+        hottest paths (no ``fast_*(cpu, ...)`` dispatch), so anything
+        that swaps a CPU's memory system after construction — e.g.
+        :func:`~repro.trace.recorder.record_run` wrapping it in a
+        recording proxy — must rebind through here, not assign
+        ``cpu.memory``.
+        """
+        self.memory = memory
+        self._batchable = memory.batchable
+        lanes = memory.fast_lanes(self.cpu_id)
+        self._lane_ifetch, self._lane_load, self._lane_store = lanes
 
     def enable_ckpt_recording(self) -> None:
         """Start recording the thread-program interaction for replay.
@@ -182,6 +206,15 @@ class BaseCpu(ABC):
     def tick(self, cycle: int) -> None:
         """Advance this CPU at ``cycle`` (called once per cycle while
         ``resume <= cycle`` and not ``done``)."""
+
+    def busy_cycles(self) -> int:
+        """Busy cycles retired so far, pending counters included.
+
+        Live probes (the obs sampler) read this instead of
+        ``breakdown.busy`` so samples never lag the batched counters;
+        models that fold busy time differently override it to match.
+        """
+        return self.breakdown.busy + self._busy_pending
 
     def flush_stats(self) -> None:
         """Fold the batched hot-loop counters into the stats objects.

@@ -17,18 +17,32 @@ time exactly as the paper describes.
 from __future__ import annotations
 
 from repro.cpu.base import BaseCpu
-from repro.isa.instructions import OpClass
 from repro.mem.types import AccessKind, StallLevel
 
 
 class MipsyCpu(BaseCpu):
     """In-order, blocking, one-instruction-per-cycle CPU."""
 
-    __slots__ = ("_fetch_line",)
+    __slots__ = (
+        "_fetch_line",
+        "_pending_inst",
+        "_exhausted",
+        "_flushed_instructions",
+    )
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._fetch_line = -1
+        # Compute-run batching (see tick): an instruction pulled ahead
+        # but not yet executable, and the early-seen end of the program.
+        self._pending_inst = None
+        self._exhausted = False
+        # Mipsy retires exactly one busy cycle and one I-fetch per
+        # instruction, so tick() bumps only ``instructions`` and
+        # flush_stats() folds the delta since the last flush into both
+        # counters at once — two attribute increments saved per
+        # instruction on the hottest path in the simulator.
+        self._flushed_instructions = 0
 
     def tick(self, cycle: int) -> None:
         """Execute at most one instruction starting at ``cycle``.
@@ -43,95 +57,149 @@ class MipsyCpu(BaseCpu):
         and I-fetch counters batch in plain slots
         (:meth:`~repro.cpu.base.BaseCpu.flush_stats`).
         """
-        # Inlined next_instruction(): pull the next instruction,
-        # delivering any pending load value.
-        program = self.program
-        try:
-            if self._has_value:
-                self._has_value = False
-                value, self._send_value = self._send_value, None
-                if self._ckpt_log is not None:
-                    self._ckpt_log.append(value)
-                inst = program.send(value)
-            else:
-                self._started = True
-                inst = next(program)
-        except StopIteration:
+        # Inlined next_instruction(): take the batched-ahead pending
+        # instruction if one exists, else pull the next one, delivering
+        # any pending load value.
+        inst = self._pending_inst
+        if inst is not None:
+            self._pending_inst = None
+        elif self._exhausted:
+            # The batch loop already saw StopIteration; this tick is
+            # the one where the unbatched CPU would discover it.
             self.done = True
             return
-        if self._ckpt_log is not None:
-            self._ckpt_advances += 1
-
-        memory = self.memory
-        cpu_id = self.cpu_id
-        fast = self._fast_lane
+        else:
+            try:
+                if self._has_value:
+                    self._has_value = False
+                    value, self._send_value = self._send_value, None
+                    if self._ckpt_log is not None:
+                        self._ckpt_log.append(value)
+                    inst = self.program.send(value)
+                else:
+                    self._started = True
+                    inst = next(self.program)
+            except StopIteration:
+                self.done = True
+                return
+            if self._ckpt_log is not None:
+                self._ckpt_advances += 1
 
         # Instruction fetch: sequential fetches within the current cache
         # line hit by construction; only line crossings and branch
-        # targets probe the I-cache.
-        self._ifetch_pending += 1
+        # targets probe the I-cache. (No memory/cpu_id hoists: the
+        # common ALU path never touches them, so they stay attribute
+        # reads on the rarer slow legs.)
         exec_start = cycle
         fetch_line = inst.pc >> self._line_shift
         if fetch_line != self._fetch_line:
             self._fetch_line = fetch_line
-            if not fast or memory.fast_ifetch(cpu_id, inst.pc, cycle) < 0:
-                fetch = memory.access(
-                    cpu_id, AccessKind.IFETCH, inst.pc, cycle
+            if not self._fast_lane or self._lane_ifetch(inst.pc, cycle) < 0:
+                fetch = self.memory.access(
+                    self.cpu_id, AccessKind.IFETCH, inst.pc, cycle
                 )
                 if fetch.done - cycle > 1:
                     self.breakdown.istall += fetch.done - cycle - 1
                     exec_start = fetch.done - 1
                     if self._obs is not None:
                         self._obs.record_ifetch_miss(
-                            cpu_id, cycle, fetch.done - cycle
+                            self.cpu_id, cycle, fetch.done - cycle
                         )
 
-        self._busy_pending += 1
         self.instructions += 1
 
-        op = inst.op
-        if op is OpClass.LOAD or op is OpClass.LL:
-            if fast:
-                done = memory.fast_load(cpu_id, inst.addr, exec_start)
+        mcode = inst.mcode
+        if mcode == 0:
+            # Compute/branch — the common case. Mipsy retires it in one
+            # cycle with no shared-state side effects, so the whole run
+            # of such instructions is consumed in this tick: pull ahead
+            # while the stream stays compute within the current fetch
+            # line (a line crossing that hits keeps the run going via
+            # the private I-cache probe; crossings that miss, memory
+            # ops, and the program's end are left for their own tick at
+            # the proper cycle — pulls are unobservable to the program
+            # because all cross-CPU communication is value-gated
+            # through the timed functional memory). Gated off when
+            # recording (checkpointing counts advances per tick) and
+            # when observing (sync code reads obs.now at generation
+            # time), and capped at the run's batch horizon so
+            # truncation and pause see exactly the unbatched stream.
+            at = exec_start + 1
+            if (
+                self._batchable
+                and self._ckpt_log is None
+                and self._obs is None
+            ):
+                program = self.program
+                horizon = self._batch_horizon
+                fast = self._fast_lane
+                line_shift = self._line_shift
+                ifetch_lane = self._lane_ifetch
+                batched = 0
+                while at < horizon:
+                    try:
+                        inst = next(program)
+                    except StopIteration:
+                        self._exhausted = True
+                        break
+                    line = inst.pc >> line_shift
+                    if line != self._fetch_line:
+                        if not fast or ifetch_lane(inst.pc, at) < 0:
+                            self._pending_inst = inst
+                            break
+                        self._fetch_line = line
+                    if inst.mcode:
+                        self._pending_inst = inst
+                        break
+                    batched += 1
+                    at += 1
+                if batched:
+                    self.instructions += batched
+            self.resume = at
+            return
+        if mcode <= 2:  # LOAD / LL
+            if self._fast_lane:
+                done = self._lane_load(inst.addr, exec_start)
                 if done >= 0:
                     # L1 hit: any cycles beyond one are L1 time (the
                     # shared-L1 crossbar), matching StallLevel.L1.
                     stall = done - exec_start - 1
                     if stall > 0:
                         self.breakdown.l1d += stall
-                    if op is OpClass.LL:
+                    if mcode == 2:
                         self._has_value = True
                         self._send_value = self.functional.load_linked(
-                            cpu_id, inst.addr, done
+                            self.cpu_id, inst.addr, done
                         )
                     elif inst.want_value:
                         self._has_value = True
                         self._send_value = self.functional.read(
-                            inst.addr, done, cpu=cpu_id
+                            inst.addr, done, cpu=self.cpu_id
                         )
                     self.resume = done
                     return
-            result = memory.access(cpu_id, AccessKind.LOAD, inst.addr, exec_start)
-        elif op is OpClass.STORE:
-            if fast and inst.value is None:
+            result = self.memory.access(
+                self.cpu_id, AccessKind.LOAD, inst.addr, exec_start
+            )
+        elif mcode == 3:  # STORE
+            if self._fast_lane and inst.value is None:
                 # Value-less posted store: nothing to publish, so the
                 # int-only lane applies. Any cycles beyond one are the
                 # write buffer refusing entry (StallLevel.STOREBUF).
-                done = memory.fast_store(cpu_id, inst.addr, exec_start)
+                done = self._lane_store(inst.addr, exec_start)
                 if done >= 0:
                     stall = done - exec_start - 1
                     if stall > 0:
                         self.breakdown.storebuf += stall
                     self.resume = done
                     return
-            result = memory.access(cpu_id, AccessKind.STORE, inst.addr, exec_start)
-        elif op is OpClass.SC:
-            result = memory.access(
-                cpu_id, AccessKind.STORE_COND, inst.addr, exec_start
+            result = self.memory.access(
+                self.cpu_id, AccessKind.STORE, inst.addr, exec_start
             )
-        else:
-            self.resume = exec_start + 1
-            return
+        else:  # SC
+            result = self.memory.access(
+                self.cpu_id, AccessKind.STORE_COND, inst.addr, exec_start
+            )
 
         breakdown = self.breakdown
         stall = result.done - exec_start - 1
@@ -150,6 +218,32 @@ class MipsyCpu(BaseCpu):
             else:
                 breakdown.l1d += stall
             if self._obs is not None:
-                self._obs.record_stall(cpu_id, level, exec_start, stall)
+                self._obs.record_stall(self.cpu_id, level, exec_start, stall)
         self.apply_memory_semantics(inst, result)
         self.resume = result.done
+
+    def busy_cycles(self) -> int:
+        """Busy cycles so far: one per instruction, flushed or not."""
+        return (
+            self.breakdown.busy
+            + self._busy_pending
+            + self.instructions
+            - self._flushed_instructions
+        )
+
+    def flush_stats(self) -> None:
+        """Fold retired-instruction counts into the stats objects.
+
+        Every Mipsy instruction is exactly one busy cycle and one
+        I-fetch, so the delta of ``instructions`` since the last flush
+        feeds both counters (tick never touches the per-event pending
+        slots). The base pending counters are still folded afterwards
+        so externally restored values (checkpoint restore) land in the
+        stats exactly once.
+        """
+        delta = self.instructions - self._flushed_instructions
+        if delta:
+            self._flushed_instructions = self.instructions
+            self._l1i_stats.reads += delta
+            self.breakdown.busy += delta
+        super().flush_stats()

@@ -295,7 +295,7 @@ class MxsCpu(BaseCpu):
             # access time), so probing the tags first would turn a
             # merge into a bogus 1-cycle hit.
             if self._fast_lane:
-                done = memory.fast_load(self.cpu_id, inst.addr, cycle)
+                done = self._lane_load(inst.addr, cycle)
                 if done >= 0:
                     record.issued = True
                     record.done = done
@@ -333,7 +333,7 @@ class MxsCpu(BaseCpu):
             # Value-less posted store: the ROB retires it next cycle
             # regardless of the drain, so only the cache/buffer state
             # changes matter — exactly what the fast lane performs.
-            if memory.fast_store(self.cpu_id, inst.addr, cycle) >= 0:
+            if self._lane_store(inst.addr, cycle) >= 0:
                 record.issued = True
                 record.done = cycle + 1
                 return True
@@ -409,7 +409,7 @@ class MxsCpu(BaseCpu):
                 self._fetch_line = line
                 if (
                     not self._fast_lane
-                    or memory.fast_ifetch(self.cpu_id, inst.pc, cycle) < 0
+                    or self._lane_ifetch(inst.pc, cycle) < 0
                 ):
                     result = memory.access(
                         self.cpu_id, AccessKind.IFETCH, inst.pc, cycle

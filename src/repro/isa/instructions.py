@@ -85,6 +85,18 @@ _MEMORY_OPS = frozenset(
     (OpClass.LOAD, OpClass.STORE, OpClass.LL, OpClass.SC)
 )
 
+#: Precomputed memory-op dispatch codes (``Instruction.mcode``): 0 for
+#: compute/branch, small ints for the memory ops. The hot tick loops
+#: dispatch on this one int slot instead of chains of enum identity
+#: checks (instructions are memoized, so the per-construction lookup
+#: amortizes to nothing).
+_MCODE = {
+    OpClass.LOAD: 1,
+    OpClass.LL: 2,
+    OpClass.STORE: 3,
+    OpClass.SC: 4,
+}
+
 
 def fu_kind(op: OpClass) -> str:
     """The functional-unit pool an op class issues to."""
@@ -113,6 +125,7 @@ class Instruction:
 
     __slots__ = (
         "op",
+        "mcode",
         "pc",
         "addr",
         "taken",
@@ -136,6 +149,7 @@ class Instruction:
         src2: int = 0,
     ) -> None:
         self.op = op
+        self.mcode = _MCODE.get(op, 0)
         self.pc = pc
         self.addr = addr
         self.taken = taken

@@ -27,6 +27,24 @@ from repro.isa.instructions import Instruction, OpClass
 #: constructed fresh (correct either way — the memo is pure reuse).
 _MEMO_CAP = 1 << 16
 
+# Enum member access is an attribute lookup on the class per call; the
+# emitters run once per emitted instruction, so the op classes they key
+# on are hoisted to module constants.
+_IALU = OpClass.IALU
+_IMUL = OpClass.IMUL
+_IDIV = OpClass.IDIV
+_BRANCH = OpClass.BRANCH
+_LOAD = OpClass.LOAD
+_STORE = OpClass.STORE
+_LL = OpClass.LL
+_SC = OpClass.SC
+_FADD_DP = OpClass.FADD_DP
+_FADD_SP = OpClass.FADD_SP
+_FMUL_DP = OpClass.FMUL_DP
+_FMUL_SP = OpClass.FMUL_SP
+_FDIV_DP = OpClass.FDIV_DP
+_FDIV_SP = OpClass.FDIV_SP
+
 
 class Emitter:
     """Constructs instructions with sequential PCs inside a code region.
@@ -80,29 +98,108 @@ class Emitter:
                 cache[key] = inst
         return inst
 
+    # The single-class emitters inline :meth:`op`'s memo body rather
+    # than delegating — these run once per simulated compute
+    # instruction, and the extra call frame is measurable.
+
     def ialu(self, src1: int = 0, src2: int = 0) -> Instruction:
         """Emit an integer ALU instruction."""
-        return self.op(OpClass.IALU, src1, src2)
+        region = self.region
+        index = self._index
+        self._index = index + 1
+        key = (index % region.size, _IALU, src1, src2)
+        cache = region._inst_cache
+        inst = cache.get(key)
+        if inst is None:
+            inst = Instruction(
+                _IALU, pc=region.pc_of(index), src1=src1, src2=src2
+            )
+            if len(cache) < _MEMO_CAP:
+                cache[key] = inst
+        return inst
 
     def imul(self, src1: int = 0, src2: int = 0) -> Instruction:
         """Emit an integer multiply."""
-        return self.op(OpClass.IMUL, src1, src2)
+        region = self.region
+        index = self._index
+        self._index = index + 1
+        key = (index % region.size, _IMUL, src1, src2)
+        cache = region._inst_cache
+        inst = cache.get(key)
+        if inst is None:
+            inst = Instruction(
+                _IMUL, pc=region.pc_of(index), src1=src1, src2=src2
+            )
+            if len(cache) < _MEMO_CAP:
+                cache[key] = inst
+        return inst
 
     def idiv(self, src1: int = 0, src2: int = 0) -> Instruction:
         """Emit an integer divide."""
-        return self.op(OpClass.IDIV, src1, src2)
+        region = self.region
+        index = self._index
+        self._index = index + 1
+        key = (index % region.size, _IDIV, src1, src2)
+        cache = region._inst_cache
+        inst = cache.get(key)
+        if inst is None:
+            inst = Instruction(
+                _IDIV, pc=region.pc_of(index), src1=src1, src2=src2
+            )
+            if len(cache) < _MEMO_CAP:
+                cache[key] = inst
+        return inst
 
     def fadd(self, dp: bool = True, src1: int = 0, src2: int = 0) -> Instruction:
         """Emit a floating-point add (double precision by default)."""
-        return self.op(OpClass.FADD_DP if dp else OpClass.FADD_SP, src1, src2)
+        opclass = _FADD_DP if dp else _FADD_SP
+        region = self.region
+        index = self._index
+        self._index = index + 1
+        key = (index % region.size, opclass, src1, src2)
+        cache = region._inst_cache
+        inst = cache.get(key)
+        if inst is None:
+            inst = Instruction(
+                opclass, pc=region.pc_of(index), src1=src1, src2=src2
+            )
+            if len(cache) < _MEMO_CAP:
+                cache[key] = inst
+        return inst
 
     def fmul(self, dp: bool = True, src1: int = 0, src2: int = 0) -> Instruction:
         """Emit a floating-point multiply."""
-        return self.op(OpClass.FMUL_DP if dp else OpClass.FMUL_SP, src1, src2)
+        opclass = _FMUL_DP if dp else _FMUL_SP
+        region = self.region
+        index = self._index
+        self._index = index + 1
+        key = (index % region.size, opclass, src1, src2)
+        cache = region._inst_cache
+        inst = cache.get(key)
+        if inst is None:
+            inst = Instruction(
+                opclass, pc=region.pc_of(index), src1=src1, src2=src2
+            )
+            if len(cache) < _MEMO_CAP:
+                cache[key] = inst
+        return inst
 
     def fdiv(self, dp: bool = True, src1: int = 0, src2: int = 0) -> Instruction:
         """Emit a floating-point divide."""
-        return self.op(OpClass.FDIV_DP if dp else OpClass.FDIV_SP, src1, src2)
+        opclass = _FDIV_DP if dp else _FDIV_SP
+        region = self.region
+        index = self._index
+        self._index = index + 1
+        key = (index % region.size, opclass, src1, src2)
+        cache = region._inst_cache
+        inst = cache.get(key)
+        if inst is None:
+            inst = Instruction(
+                opclass, pc=region.pc_of(index), src1=src1, src2=src2
+            )
+            if len(cache) < _MEMO_CAP:
+                cache[key] = inst
+        return inst
 
     def ops(self, opclass: OpClass, count: int):
         """Emit ``count`` independent instructions of one class."""
@@ -126,12 +223,12 @@ class Emitter:
         region = self.region
         index = self._index
         self._index = index + 1
-        key = (index % region.size, OpClass.LOAD, addr, want_value, src1)
+        key = (index % region.size, _LOAD, addr, want_value, src1)
         cache = region._inst_cache
         inst = cache.get(key)
         if inst is None:
             inst = Instruction(
-                OpClass.LOAD,
+                _LOAD,
                 pc=region.pc_of(index),
                 addr=addr,
                 want_value=want_value,
@@ -156,12 +253,12 @@ class Emitter:
         region = self.region
         index = self._index
         self._index = index + 1
-        key = (index % region.size, OpClass.STORE, addr, value, src1)
+        key = (index % region.size, _STORE, addr, value, src1)
         cache = region._inst_cache
         inst = cache.get(key)
         if inst is None:
             inst = Instruction(
-                OpClass.STORE,
+                _STORE,
                 pc=region.pc_of(index),
                 addr=addr,
                 value=value,
@@ -176,12 +273,12 @@ class Emitter:
         region = self.region
         index = self._index
         self._index = index + 1
-        key = (index % region.size, OpClass.LL, addr)
+        key = (index % region.size, _LL, addr)
         cache = region._inst_cache
         inst = cache.get(key)
         if inst is None:
             inst = Instruction(
-                OpClass.LL, pc=region.pc_of(index), addr=addr, want_value=True
+                _LL, pc=region.pc_of(index), addr=addr, want_value=True
             )
             if len(cache) < _MEMO_CAP:
                 cache[key] = inst
@@ -192,12 +289,12 @@ class Emitter:
         region = self.region
         index = self._index
         self._index = index + 1
-        key = (index % region.size, OpClass.SC, addr, value)
+        key = (index % region.size, _SC, addr, value)
         cache = region._inst_cache
         inst = cache.get(key)
         if inst is None:
             inst = Instruction(
-                OpClass.SC,
+                _SC,
                 pc=region.pc_of(index),
                 addr=addr,
                 value=value,
@@ -234,12 +331,12 @@ class Emitter:
             next_index = index + 1
             self._index = next_index
         size = region.size
-        key = (index % size, OpClass.BRANCH, taken, next_index % size, src1)
+        key = (index % size, _BRANCH, taken, next_index % size, src1)
         cache = region._inst_cache
         inst = cache.get(key)
         if inst is None:
             inst = Instruction(
-                OpClass.BRANCH,
+                _BRANCH,
                 pc=region.pc_of(index),
                 taken=taken,
                 target=region.pc_of(next_index),
@@ -256,7 +353,7 @@ class Emitter:
         self.region = region
         self._index = 0
         return Instruction(
-            OpClass.BRANCH, pc=pc, taken=True, target=region.pc_of(0)
+            _BRANCH, pc=pc, taken=True, target=region.pc_of(0)
         )
 
     def ret(self) -> Instruction:
@@ -266,7 +363,7 @@ class Emitter:
         pc = self.region.pc_of(self._index)
         self.region, self._index = self._stack.pop()
         return Instruction(
-            OpClass.BRANCH,
+            _BRANCH,
             pc=pc,
             taken=True,
             target=self.region.pc_of(self._index),

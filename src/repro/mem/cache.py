@@ -1,4 +1,4 @@
-"""Set-associative cache array with LRU replacement.
+"""Set-associative cache array with LRU replacement — packed-array core.
 
 The array models tags and line state only (the simulator is
 timing-directed; data values for synchronization live in the timed
@@ -7,15 +7,50 @@ caches use just ``SHARED`` (valid-clean) and ``MODIFIED`` (valid-dirty),
 while the shared-memory architecture's snoopy protocol uses the full
 MESI set.
 
-LRU is kept by dict insertion order within each set: a hit re-inserts
-the tag at the back, eviction pops the front. This is the fastest pure
-Python LRU available and is exact.
+Representation
+--------------
+
+Each cache keeps three flat native ``array`` columns indexed by
+*absolute way* (``set_index * assoc + way``):
+
+* ``tags``   — line address resident in the way, ``-1`` when invalid;
+* ``states`` — the way's :class:`LineState` as a small int;
+* ``stamps`` — a monotonically increasing LRU stamp, refreshed on every
+  touching probe. Victim selection picks the resident way with the
+  smallest stamp, which reproduces exactly the dict-insertion-order LRU
+  the previous implementation kept (a hit re-inserts at the back;
+  eviction pops the front).
+
+The hot primitives (:meth:`probe`, :meth:`fill`, :meth:`evict`,
+:meth:`set_state`, :meth:`find`) work in *line addresses* and return
+packed ints — no per-access object allocation anywhere. The historical
+byte-address object API (:meth:`lookup`, :meth:`insert`,
+:meth:`invalidate`, …) remains as thin wrappers for tests, reports and
+cold paths; the :class:`CacheLine` objects those return are detached
+snapshots — mutating them does not write back into the array.
+
+The columns are mutated strictly in place (``flush`` and
+``import_sets`` refill them, never rebind them) and the LRU tick lives
+in a one-element list, so closures built by :meth:`make_probe` /
+:meth:`make_probe_modify` stay valid for the cache's whole lifetime,
+including across checkpoint restore.
+
+Ordering contract
+-----------------
+
+:meth:`lines` and :meth:`flush` iterate sets in index order and, within
+each set, resident lines in LRU order — least recently used first, most
+recently used last. The checkpoint walker relies on this: a snapshot
+stores each set's lines in that order and a restore re-stamps them in
+sequence, which preserves every future replacement decision (only the
+relative recency order within a set matters).
 """
 
 from __future__ import annotations
 
+from array import array
 from enum import IntEnum
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.errors import ConfigError
 from repro.mem.classify import InvalidationTracker
@@ -31,8 +66,20 @@ class LineState(IntEnum):
     MODIFIED = 3
 
 
+#: Plain-int mirrors of :class:`LineState` for the hot paths (IntEnum
+#: attribute access costs a dict lookup per use).
+INVALID = 0
+SHARED = 1
+EXCLUSIVE = 2
+MODIFIED = 3
+
+
 class CacheLine:
-    """Tag-array entry for one resident line."""
+    """Detached tag-array snapshot for one resident line.
+
+    The packed core does not store these; the legacy byte-address API
+    materializes them on demand. Treat them as read-only views.
+    """
 
     __slots__ = ("line_addr", "state")
 
@@ -57,10 +104,10 @@ def _log2_exact(value: int, what: str) -> int:
 class CacheArray:
     """One cache's tag array: set-associative, LRU, write-back capable.
 
-    Addresses are byte addresses; the array works internally in line
-    addresses (byte address >> line-size bits). Statistics are *not*
-    counted here — the memory systems know the access semantics and
-    count into :class:`~repro.sim.stats.CacheStats` themselves; the
+    Addresses in the packed API are line addresses (byte address >>
+    ``line_shift``); the legacy API takes byte addresses. Statistics are
+    *not* counted here — the memory systems know the access semantics
+    and count into :class:`~repro.sim.stats.CacheStats` themselves; the
     array only answers hit/miss/evict questions and tracks which misses
     are invalidation misses.
     """
@@ -74,7 +121,10 @@ class CacheArray:
         "line_size",
         "n_sets",
         "_set_mask",
-        "_sets",
+        "tags",
+        "states",
+        "stamps",
+        "_tick",
         "tracker",
     )
 
@@ -101,7 +151,12 @@ class CacheArray:
         self.line_size = line_size
         self.n_sets = n_sets
         self._set_mask = n_sets - 1
-        self._sets: list[dict[int, CacheLine]] = [{} for _ in range(n_sets)]
+        n_ways = n_sets * assoc
+        self.tags = array("q", [-1]) * n_ways
+        self.states = array("b", [0]) * n_ways
+        self.stamps = array("q", [0]) * n_ways
+        # One-element list so probe closures share the counter.
+        self._tick = [0]
         self.tracker = InvalidationTracker()
 
     # ------------------------------------------------------------------
@@ -116,21 +171,286 @@ class CacheArray:
         return line_addr & self._set_mask
 
     # ------------------------------------------------------------------
-    # core operations
+    # packed primitives (line-address domain, allocation free)
+
+    def probe(self, line_addr: int) -> int:
+        """LRU-refreshing probe: the line's state, or ``-1`` on a miss."""
+        tags = self.tags
+        base = (line_addr & self._set_mask) * self.assoc
+        for way in range(base, base + self.assoc):
+            if tags[way] == line_addr:
+                tick = self._tick
+                self.stamps[way] = tick[0]
+                tick[0] += 1
+                return self.states[way]
+        return -1
+
+    def probe_quiet(self, line_addr: int) -> int:
+        """The line's state without touching LRU; ``-1`` on a miss."""
+        tags = self.tags
+        base = (line_addr & self._set_mask) * self.assoc
+        for way in range(base, base + self.assoc):
+            if tags[way] == line_addr:
+                return self.states[way]
+        return -1
+
+    def probe_modify(self, line_addr: int) -> int:
+        """Store-hit probe: refresh LRU and set the line MODIFIED.
+
+        Returns the line's *previous* state, or ``-1`` on a miss
+        (nothing touched).
+        """
+        tags = self.tags
+        base = (line_addr & self._set_mask) * self.assoc
+        for way in range(base, base + self.assoc):
+            if tags[way] == line_addr:
+                tick = self._tick
+                self.stamps[way] = tick[0]
+                tick[0] += 1
+                states = self.states
+                previous = states[way]
+                states[way] = MODIFIED
+                return previous
+        return -1
+
+    def find(self, line_addr: int) -> int:
+        """Absolute way index holding the line, or ``-1``; no LRU."""
+        tags = self.tags
+        base = (line_addr & self._set_mask) * self.assoc
+        for way in range(base, base + self.assoc):
+            if tags[way] == line_addr:
+                return way
+        return -1
+
+    def set_state(self, line_addr: int, state: int) -> bool:
+        """Overwrite a resident line's state (no LRU); False on a miss."""
+        way = self.find(line_addr)
+        if way < 0:
+            return False
+        self.states[way] = state
+        return True
+
+    def fill(self, line_addr: int, state: int) -> int:
+        """Fill the line, returning the packed victim.
+
+        The victim is ``(victim_line_addr << 2) | victim_state`` when
+        the set was full (``-1`` otherwise) so the caller can issue a
+        writeback if it was dirty and propagate inclusion
+        invalidations. If the line is already resident its state is
+        overwritten and LRU refreshed (no victim, no fill note).
+        """
+        tags = self.tags
+        stamps = self.stamps
+        base = (line_addr & self._set_mask) * self.assoc
+        victim = -1
+        victim_stamp = -1
+        empty = -1
+        for way in range(base, base + self.assoc):
+            tag = tags[way]
+            if tag == line_addr:
+                tick = self._tick
+                stamps[way] = tick[0]
+                tick[0] += 1
+                self.states[way] = state
+                return -1
+            if tag < 0:
+                if empty < 0:
+                    empty = way
+            elif victim < 0 or stamps[way] < victim_stamp:
+                victim = way
+                victim_stamp = stamps[way]
+        packed = -1
+        if empty >= 0:
+            way = empty
+        else:
+            way = victim
+            packed = (tags[way] << 2) | self.states[way]
+        tags[way] = line_addr
+        self.states[way] = state
+        tick = self._tick
+        stamps[way] = tick[0]
+        tick[0] += 1
+        self.tracker.note_fill(line_addr)
+        return packed
+
+    def evict(self, line_addr: int, coherence: bool = True) -> int:
+        """Remove the line if resident; returns its state or ``-1``.
+
+        With ``coherence=True`` (an invalidation caused by another
+        processor or by inclusion), the next miss on this line counts
+        as an invalidation miss.
+        """
+        way = self.find(line_addr)
+        if way < 0:
+            return -1
+        self.tags[way] = -1
+        if coherence:
+            self.tracker.note_invalidation(line_addr)
+        return self.states[way]
+
+    def classify_line(self, line_addr: int) -> MissKind:
+        """Classify a miss on a line address (after a failed probe)."""
+        return self.tracker.classify(line_addr)
+
+    # ------------------------------------------------------------------
+    # specialized probe builders (fast lanes)
+
+    def make_probe(self) -> Callable[[int], int]:
+        """Build an allocation-free LRU-refreshing probe closure.
+
+        ``probe(line_addr) -> state | -1``, specialized (unrolled) for
+        the cache's associativity. Valid for the cache's lifetime: the
+        columns are captured by reference and only ever mutated in
+        place.
+        """
+        tags = self.tags
+        states = self.states
+        stamps = self.stamps
+        tick = self._tick
+        mask = self._set_mask
+        assoc = self.assoc
+        if assoc == 1:
+            # Direct-mapped: the single way needs no LRU bookkeeping.
+            def probe(line_addr: int) -> int:
+                way = line_addr & mask
+                if tags[way] != line_addr:
+                    return -1
+                return states[way]
+
+            return probe
+        if assoc == 2:
+            def probe(line_addr: int) -> int:
+                way = (line_addr & mask) << 1
+                if tags[way] == line_addr:
+                    stamps[way] = tick[0]
+                    tick[0] += 1
+                    return states[way]
+                way += 1
+                if tags[way] == line_addr:
+                    stamps[way] = tick[0]
+                    tick[0] += 1
+                    return states[way]
+                return -1
+
+            return probe
+
+        def probe(line_addr: int) -> int:
+            base = (line_addr & mask) * assoc
+            for way in range(base, base + assoc):
+                if tags[way] == line_addr:
+                    stamps[way] = tick[0]
+                    tick[0] += 1
+                    return states[way]
+            return -1
+
+        return probe
+
+    def make_probe_modify(self) -> Callable[[int], int]:
+        """Build a store-hit probe closure (see :meth:`probe_modify`)."""
+        tags = self.tags
+        states = self.states
+        stamps = self.stamps
+        tick = self._tick
+        mask = self._set_mask
+        assoc = self.assoc
+        if assoc == 1:
+            def probe_modify(line_addr: int) -> int:
+                way = line_addr & mask
+                if tags[way] != line_addr:
+                    return -1
+                previous = states[way]
+                states[way] = MODIFIED
+                return previous
+
+            return probe_modify
+        if assoc == 2:
+            def probe_modify(line_addr: int) -> int:
+                way = (line_addr & mask) << 1
+                if tags[way] != line_addr:
+                    way += 1
+                    if tags[way] != line_addr:
+                        return -1
+                stamps[way] = tick[0]
+                tick[0] += 1
+                previous = states[way]
+                states[way] = MODIFIED
+                return previous
+
+            return probe_modify
+
+        def probe_modify(line_addr: int) -> int:
+            base = (line_addr & mask) * assoc
+            for way in range(base, base + assoc):
+                if tags[way] == line_addr:
+                    stamps[way] = tick[0]
+                    tick[0] += 1
+                    previous = states[way]
+                    states[way] = MODIFIED
+                    return previous
+            return -1
+
+        return probe_modify
+
+    def make_probe_dirty(self) -> Callable[[int], bool]:
+        """Build a MODIFIED-hit probe closure.
+
+        ``probe_dirty(line_addr) -> bool``: True (with an LRU refresh)
+        only when the line is resident MODIFIED; any other state — or a
+        miss — declines with nothing touched. This is the write-back
+        store fast lane: E/S hits need upgrade transactions and must
+        take the general path.
+        """
+        tags = self.tags
+        states = self.states
+        stamps = self.stamps
+        tick = self._tick
+        mask = self._set_mask
+        assoc = self.assoc
+        if assoc == 2:
+            def probe_dirty(line_addr: int) -> bool:
+                way = (line_addr & mask) << 1
+                if tags[way] != line_addr:
+                    way += 1
+                    if tags[way] != line_addr:
+                        return False
+                if states[way] != MODIFIED:
+                    return False
+                stamps[way] = tick[0]
+                tick[0] += 1
+                return True
+
+            return probe_dirty
+
+        def probe_dirty(line_addr: int) -> bool:
+            base = (line_addr & mask) * assoc
+            for way in range(base, base + assoc):
+                if tags[way] == line_addr:
+                    if states[way] != MODIFIED:
+                        return False
+                    if assoc > 1:
+                        stamps[way] = tick[0]
+                        tick[0] += 1
+                    return True
+            return False
+
+        return probe_dirty
+
+    # ------------------------------------------------------------------
+    # legacy byte-address API (tests, reports, cold paths)
 
     def lookup(self, addr: int, update_lru: bool = True) -> CacheLine | None:
         """Probe for the line containing byte address ``addr``.
 
-        Returns the resident line (refreshing LRU unless told not to)
-        or ``None`` on a miss.
+        Returns a detached :class:`CacheLine` snapshot (refreshing LRU
+        unless told not to) or ``None`` on a miss.
         """
         line_addr = addr >> self.line_shift
-        cache_set = self._sets[line_addr & self._set_mask]
-        line = cache_set.get(line_addr)
-        if line is not None and update_lru:
-            del cache_set[line_addr]
-            cache_set[line_addr] = line
-        return line
+        state = self.probe(line_addr) if update_lru else self.probe_quiet(
+            line_addr
+        )
+        if state < 0:
+            return None
+        return CacheLine(line_addr, LineState(state))
 
     def classify_miss(self, addr: int) -> MissKind:
         """Classify a miss on ``addr`` (call only after a failed lookup)."""
@@ -143,41 +463,26 @@ class CacheArray:
     ) -> CacheLine | None:
         """Fill the line containing ``addr``; return the evicted victim.
 
-        The victim (``None`` if the set had room) is returned so the
-        caller can issue a writeback if it was dirty and propagate
-        inclusion invalidations. If the line is already resident its
-        state is overwritten and LRU refreshed.
+        Byte-address wrapper over :meth:`fill`; the victim (``None`` if
+        the set had room) is a detached snapshot.
         """
-        line_addr = addr >> self.line_shift
-        cache_set = self._sets[line_addr & self._set_mask]
-        existing = cache_set.get(line_addr)
-        if existing is not None:
-            del cache_set[line_addr]
-            existing.state = state
-            cache_set[line_addr] = existing
+        packed = self.fill(addr >> self.line_shift, state)
+        if packed < 0:
             return None
-        victim = None
-        if len(cache_set) >= self.assoc:
-            victim_addr = next(iter(cache_set))
-            victim = cache_set.pop(victim_addr)
-        cache_set[line_addr] = CacheLine(line_addr, state)
-        self.tracker.note_fill(line_addr)
-        return victim
+        return CacheLine(packed >> 2, LineState(packed & 3))
 
     def invalidate(self, addr: int, coherence: bool = True) -> CacheLine | None:
         """Remove the line containing ``addr`` if resident.
 
-        With ``coherence=True`` (an invalidation caused by another
-        processor or by inclusion), the next miss on this line counts
-        as an invalidation miss. Returns the removed line (so the
-        caller can write back dirty data) or ``None``.
+        Byte-address wrapper over :meth:`evict`; returns the removed
+        line as a detached snapshot (so the caller can check dirtiness)
+        or ``None``.
         """
         line_addr = addr >> self.line_shift
-        cache_set = self._sets[line_addr & self._set_mask]
-        line = cache_set.pop(line_addr, None)
-        if line is not None and coherence:
-            self.tracker.note_invalidation(line_addr)
-        return line
+        state = self.evict(line_addr, coherence)
+        if state < 0:
+            return None
+        return CacheLine(line_addr, LineState(state))
 
     def downgrade(self, addr: int) -> CacheLine | None:
         """Drop the line containing ``addr`` to SHARED if resident.
@@ -185,49 +490,121 @@ class CacheArray:
         Used when a snoop hits a MODIFIED/EXCLUSIVE copy on a remote
         read: the owner supplies the data and keeps a shared copy.
         """
-        line = self.lookup(addr, update_lru=False)
-        if line is not None:
-            line.state = LineState.SHARED
-        return line
+        line_addr = addr >> self.line_shift
+        way = self.find(line_addr)
+        if way < 0:
+            return None
+        self.states[way] = SHARED
+        return CacheLine(line_addr, LineState.SHARED)
 
     # ------------------------------------------------------------------
     # introspection (tests, invariant checks, reports)
 
     def contains(self, addr: int) -> bool:
         """Residency probe without touching LRU state."""
-        line_addr = addr >> self.line_shift
-        return line_addr in self._sets[line_addr & self._set_mask]
+        return self.find(addr >> self.line_shift) >= 0
 
     def state_of(self, addr: int) -> LineState:
         """The line's MESI state (INVALID when absent); no LRU update."""
-        line = self.lookup(addr, update_lru=False)
-        return line.state if line is not None else LineState.INVALID
+        state = self.probe_quiet(addr >> self.line_shift)
+        return LineState(state) if state >= 0 else LineState.INVALID
+
+    def _set_ways_lru(self, set_index: int) -> list[int]:
+        """Resident ways of one set in LRU order (oldest stamp first)."""
+        base = set_index * self.assoc
+        tags = self.tags
+        stamps = self.stamps
+        ways = [
+            way for way in range(base, base + self.assoc) if tags[way] >= 0
+        ]
+        ways.sort(key=stamps.__getitem__)
+        return ways
 
     def lines(self) -> Iterator[CacheLine]:
-        """Iterate over every resident line (for checks and reports)."""
-        for cache_set in self._sets:
-            yield from cache_set.values()
+        """Iterate every resident line (for checks, reports, ckpt).
+
+        Ordering contract: sets in index order; within each set, LRU
+        order — least recently used first. The checkpoint walker
+        round-trips this order (see the module docstring).
+        """
+        tags = self.tags
+        states = self.states
+        for set_index in range(self.n_sets):
+            for way in self._set_ways_lru(set_index):
+                yield CacheLine(tags[way], LineState(states[way]))
 
     def resident_count(self) -> int:
         """Number of lines currently resident."""
-        return sum(len(cache_set) for cache_set in self._sets)
+        return sum(1 for tag in self.tags if tag >= 0)
 
     def set_occupancy(self, set_index: int) -> int:
         """Resident lines in one set (must never exceed the associativity)."""
-        return len(self._sets[set_index])
+        base = set_index * self.assoc
+        return sum(
+            1 for way in range(base, base + self.assoc) if self.tags[way] >= 0
+        )
 
     def flush(self) -> list[CacheLine]:
         """Empty the cache, returning the dirty lines (for writeback).
 
-        A flush discards the invalidation tracker too: the lines left
-        for a non-coherence reason, so a later miss on a previously
-        invalidated line is a replacement miss, not an invalidation
-        miss.
+        The dirty lines come back in the :meth:`lines` ordering (sets
+        in index order, LRU within each set). A flush discards the
+        invalidation tracker too: the lines left for a non-coherence
+        reason, so a later miss on a previously invalidated line is a
+        replacement miss, not an invalidation miss.
         """
         dirty = [line for line in self.lines() if line.dirty]
-        self._sets = [{} for _ in range(self.n_sets)]
+        # In place: probe closures capture these columns by reference.
+        for way in range(len(self.tags)):
+            self.tags[way] = -1
+            self.states[way] = 0
+            self.stamps[way] = 0
+        self._tick[0] = 0
         self.tracker.clear()
         return dirty
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+
+    def export_sets(self) -> list[list[list[int]]]:
+        """Per-set ``[line_addr, state]`` pairs in LRU order.
+
+        This is the ``repro.ckpt/1`` wire format for a cache: the order
+        within a set *is* the recency order, exactly as the historical
+        dict-of-lines representation serialized it.
+        """
+        tags = self.tags
+        states = self.states
+        return [
+            [[tags[way], states[way]] for way in self._set_ways_lru(index)]
+            for index in range(self.n_sets)
+        ]
+
+    def import_sets(self, sets: list) -> None:
+        """Rebuild residency from :meth:`export_sets` data.
+
+        Lines are re-stamped in their stored (LRU) order, which
+        reproduces every future replacement decision: victim choice
+        depends only on relative recency within a set.
+        """
+        tags = self.tags
+        states = self.states
+        stamps = self.stamps
+        assoc = self.assoc
+        for way in range(len(tags)):
+            tags[way] = -1
+            states[way] = 0
+            stamps[way] = 0
+        tick = 0
+        for set_index, recorded in enumerate(sets):
+            base = set_index * assoc
+            for offset, (line_addr, state) in enumerate(recorded):
+                way = base + offset
+                tags[way] = line_addr
+                states[way] = state
+                stamps[way] = tick
+                tick += 1
+        self._tick[0] = tick
 
     def __repr__(self) -> str:
         return (

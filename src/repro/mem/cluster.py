@@ -15,7 +15,7 @@ CPU models pay it (``MemConfig.shared_l1_optimistic`` is ignored).
 
 from __future__ import annotations
 
-from repro.mem.cache import CacheArray, LineState
+from repro.mem.cache import MODIFIED, SHARED, CacheArray
 from repro.mem.crossbar import MultistageCrossbar
 from repro.mem.hierarchy import MemConfig, count_miss
 from repro.mem.shared_l1 import SharedL1System
@@ -48,6 +48,10 @@ class ClusterSharedL1System(SharedL1System):
             occupancy=interconnect.occupancy,
             n_ports=config.n_cpus,
         )
+        # The base constructor built its lanes against the preset-shaped
+        # array and single-stage crossbar; rebuild them over the
+        # replacements.
+        self._build_lanes()
 
     def attach_obs(self, obs) -> None:
         """Wire the multi-stage interconnect for conflict events.
@@ -99,39 +103,42 @@ class ClusterSharedL1System(SharedL1System):
     # ------------------------------------------------------------------
     # Access paths: identical to the shared-L1 ones except the
     # interconnect is *always* consulted — there is no optimistic fiat
-    # for the cluster, under either CPU model.
+    # for the cluster, under either CPU model. The lane builders ignore
+    # ``shared_l1_optimistic`` for the same reason.
 
-    def fast_load(self, cpu: int, addr: int, at: int) -> int:
-        """Pooled-L1 data hit through the interconnect; -1 on miss."""
-        l1d = self.l1d
-        line_addr = addr >> l1d.line_shift
-        cache_set = l1d._sets[line_addr & l1d._set_mask]
-        line = cache_set.get(line_addr)
-        if line is None:
-            return -1
-        del cache_set[line_addr]
-        cache_set[line_addr] = line
-        self._l1d_stats.reads += 1
-        ready, _wait = self.crossbar.access(addr, at, port=cpu)
-        return ready
+    def _make_load_lane(self, cpu: int):
+        probe = self.l1d.make_probe()
+        stats = self._l1d_stats
+        shift = self._line_shift
+        xbar_lane = self.crossbar.make_lane(cpu)
 
-    def fast_store(self, cpu: int, addr: int, at: int) -> int:
-        """Posted store hitting the pooled L1; -1 on miss."""
-        l1d = self.l1d
-        line_addr = addr >> l1d.line_shift
-        cache_set = l1d._sets[line_addr & l1d._set_mask]
-        line = cache_set.get(line_addr)
-        if line is None:
-            return -1
-        self._l1d_stats.writes += 1
-        buffer = self._store_buffers[cpu]
-        release, _stalled = buffer.admit(at)
-        hit_done, _wait = self.crossbar.access(addr, at, port=cpu)
-        del cache_set[line_addr]
-        cache_set[line_addr] = line
-        line.state = LineState.MODIFIED
-        buffer.push(hit_done)
-        return release + 1
+        def fast_load(addr: int, at: int) -> int:
+            """Pooled-L1 data hit through the interconnect; -1 on miss."""
+            if probe(addr >> shift) < 0:
+                return -1
+            stats.reads += 1
+            return xbar_lane(addr, at)
+
+        return fast_load
+
+    def _make_store_lane(self, cpu: int):
+        probe_modify = self.l1d.make_probe_modify()
+        stats = self._l1d_stats
+        buffer_admit = self._store_buffers[cpu].admit
+        buffer_push = self._store_buffers[cpu].push
+        shift = self._line_shift
+        xbar_lane = self.crossbar.make_lane(cpu)
+
+        def fast_store(addr: int, at: int) -> int:
+            """Posted store hitting the pooled L1; -1 on miss."""
+            if probe_modify(addr >> shift) < 0:
+                return -1
+            stats.writes += 1
+            release, _stalled = buffer_admit(at)
+            buffer_push(xbar_lane(addr, at))
+            return release + 1
+
+        return fast_store
 
     def _data_path(
         self, cpu: int, addr: int, at: int, is_store: bool
@@ -139,20 +146,22 @@ class ClusterSharedL1System(SharedL1System):
         """The cluster access pipeline common to loads and stores."""
         hit_done, _wait = self.crossbar.access(addr, at, port=cpu)
 
-        line = self.l1d.lookup(addr)
-        if line is not None:
-            if is_store:
-                line.state = LineState.MODIFIED
+        l1d = self.l1d
+        line_addr = addr >> self._line_shift
+        state = (
+            l1d.probe_modify(line_addr) if is_store else l1d.probe(line_addr)
+        )
+        if state >= 0:
             level = StallLevel.NONE if hit_done - at <= 1 else StallLevel.L1
             return hit_done, level
 
-        miss_kind = self.l1d.classify_miss(addr)
+        miss_kind = l1d.classify_line(line_addr)
         count_miss(self._l1d_stats, miss_kind, is_store)
         done, level = self._l2_access(addr, hit_done, is_store=is_store)
-        fill_state = LineState.MODIFIED if is_store else LineState.SHARED
-        victim = self.l1d.insert(addr, fill_state)
-        if victim is not None and victim.dirty:
+        fill_state = MODIFIED if is_store else SHARED
+        victim = l1d.fill(line_addr, fill_state)
+        if victim >= 0 and victim & 3 == MODIFIED:
             self._write_back_to_l2(
-                victim.line_addr << self.l1d.line_shift, hit_done
+                (victim >> 2) << self._line_shift, hit_done
             )
         return done, level

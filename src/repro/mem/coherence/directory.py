@@ -62,15 +62,35 @@ class Directory:
 
     def invalidate_for_write(self, line_addr: int, writer: int) -> list[int]:
         """Invalidate every copy except the writer's; returns the victims."""
-        victims = self.holders(line_addr, excluding=writer)
+        mask = self.invalidate_for_write_mask(line_addr, writer)
+        found = []
+        cpu = 0
+        while mask:
+            if mask & 1:
+                found.append(cpu)
+            mask >>= 1
+            cpu += 1
+        return found
+
+    def invalidate_for_write_mask(self, line_addr: int, writer: int) -> int:
+        """Allocation-free :meth:`invalidate_for_write`: victim bitmask.
+
+        The write-through store path calls this per drained store; the
+        overwhelmingly common result is "no other holders" and must not
+        build a list to say so.
+        """
+        holders = self._holders
+        mask = holders.get(line_addr)
+        if mask is None:
+            return 0
+        victims = mask & ~(1 << writer)
         if victims:
-            self.invalidations_sent += len(victims)
-            mask = self._holders.get(line_addr, 0)
+            self.invalidations_sent += victims.bit_count()
             keep = mask & (1 << writer)
             if keep:
-                self._holders[line_addr] = keep
+                holders[line_addr] = keep
             else:
-                self._holders.pop(line_addr, None)
+                del holders[line_addr]
         return victims
 
     def is_holder(self, line_addr: int, cpu: int) -> bool:

@@ -7,6 +7,11 @@ memory vs. cache-to-cache latency) is charged by
 :class:`~repro.mem.shared_mem.SharedMemorySystem` using the result
 returned here.
 
+The snoop walks run in the packed-array domain: all methods take *line
+addresses* and operate on the caches' flat tag/state columns through
+``find``/``evict`` and direct state pokes — no per-snoop object
+allocation.
+
 States follow the classic invalidation protocol:
 
 * remote read of a MODIFIED line → owner supplies data cache-to-cache
@@ -20,7 +25,7 @@ States follow the classic invalidation protocol:
 from __future__ import annotations
 
 from repro.errors import ProtocolError
-from repro.mem.cache import CacheArray, LineState
+from repro.mem.cache import MODIFIED, SHARED, CacheArray, LineState
 from repro.sim.stats import CacheStats
 
 
@@ -45,7 +50,7 @@ class SnoopController:
     # ------------------------------------------------------------------
     # snoop actions
 
-    def snoop_read(self, requester: int, addr: int) -> str:
+    def snoop_read(self, requester: int, line_addr: int) -> str:
         """A read miss went to the bus; adjust remote states.
 
         Returns ``"c2c"`` if a MODIFIED owner supplies the data, else
@@ -55,20 +60,22 @@ class SnoopController:
         for cpu in range(self.n_cpus):
             if cpu == requester:
                 continue
-            l2_line = self.l2s[cpu].lookup(addr, update_lru=False)
-            if l2_line is None:
+            l2 = self.l2s[cpu]
+            way = l2.find(line_addr)
+            if way < 0:
                 continue
-            if l2_line.state == LineState.MODIFIED:
+            if l2.states[way] == MODIFIED:
                 source = "c2c"
-            l2_line.state = LineState.SHARED
-            l1_line = self.l1ds[cpu].lookup(addr, update_lru=False)
-            if l1_line is not None:
-                if l1_line.state == LineState.MODIFIED:
+            l2.states[way] = SHARED
+            l1 = self.l1ds[cpu]
+            l1_way = l1.find(line_addr)
+            if l1_way >= 0:
+                if l1.states[l1_way] == MODIFIED:
                     source = "c2c"
-                l1_line.state = LineState.SHARED
+                l1.states[l1_way] = SHARED
         return source
 
-    def snoop_write(self, requester: int, addr: int) -> str:
+    def snoop_write(self, requester: int, line_addr: int) -> str:
         """A write miss (read-for-ownership) went to the bus.
 
         Invalidates every remote copy; returns ``"c2c"`` if a MODIFIED
@@ -78,22 +85,21 @@ class SnoopController:
         for cpu in range(self.n_cpus):
             if cpu == requester:
                 continue
-            l2_line = self.l2s[cpu].lookup(addr, update_lru=False)
-            if l2_line is None:
+            l2 = self.l2s[cpu]
+            l2_state = l2.evict(line_addr, coherence=True)
+            if l2_state < 0:
                 continue
-            if l2_line.state == LineState.MODIFIED:
+            if l2_state == MODIFIED:
                 source = "c2c"
-            self.l2s[cpu].invalidate(addr, coherence=True)
             self.l2_stats[cpu].invalidations_received += 1
-            l1_line = self.l1ds[cpu].lookup(addr, update_lru=False)
-            if l1_line is not None:
-                if l1_line.state == LineState.MODIFIED:
+            l1_state = self.l1ds[cpu].evict(line_addr, coherence=True)
+            if l1_state >= 0:
+                if l1_state == MODIFIED:
                     source = "c2c"
-                self.l1ds[cpu].invalidate(addr, coherence=True)
                 self.l1d_stats[cpu].invalidations_received += 1
         return source
 
-    def upgrade(self, requester: int, addr: int) -> int:
+    def upgrade(self, requester: int, line_addr: int) -> int:
         """Invalidate-only transaction for a write hit on a SHARED line.
 
         Returns the number of remote copies invalidated.
@@ -102,20 +108,20 @@ class SnoopController:
         for cpu in range(self.n_cpus):
             if cpu == requester:
                 continue
-            if self.l2s[cpu].invalidate(addr, coherence=True) is not None:
+            if self.l2s[cpu].evict(line_addr, coherence=True) >= 0:
                 self.l2_stats[cpu].invalidations_received += 1
                 invalidated += 1
-            if self.l1ds[cpu].invalidate(addr, coherence=True) is not None:
+            if self.l1ds[cpu].evict(line_addr, coherence=True) >= 0:
                 self.l1d_stats[cpu].invalidations_received += 1
         return invalidated
 
-    def any_remote_copy(self, requester: int, addr: int) -> bool:
+    def any_remote_copy(self, requester: int, line_addr: int) -> bool:
         """Does any other processor cache this line (L2 check suffices
         because L2 includes L1)?"""
         for cpu in range(self.n_cpus):
             if cpu == requester:
                 continue
-            if self.l2s[cpu].lookup(addr, update_lru=False) is not None:
+            if self.l2s[cpu].find(line_addr) >= 0:
                 return True
         return False
 
@@ -142,9 +148,7 @@ class SnoopController:
                         )
                     owners[line.line_addr] = cpu
             for line in self.l1ds[cpu].lines():
-                if not self.l2s[cpu].contains(
-                    line.line_addr << self.l2s[cpu].line_shift
-                ):
+                if self.l2s[cpu].find(line.line_addr) < 0:
                     raise ProtocolError(
                         f"inclusion violated: CPU {cpu} L1 holds "
                         f"{line.line_addr:#x} but its L2 does not"

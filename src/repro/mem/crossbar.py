@@ -96,6 +96,46 @@ class Crossbar:
             )
         return start + self.latency, wait
 
+    def make_lane(self, port: int, occupancy: int | None = None):
+        """Build a specialized ``(addr, at) -> data_ready`` closure.
+
+        The fast-lane twin of :meth:`access` for a fixed port and
+        occupancy: the port resource, bank array and constants are
+        captured, and both acquires are inlined — one Python call per
+        crossbar transit instead of four, and no result tuple. The
+        conflict wait still accumulates in :attr:`wait_cycles`; the obs
+        conflict event is omitted because lanes only run with the fast
+        path enabled, and attaching observability forces the fast path
+        off (see ``System.__init__``).
+        """
+        hold = self.occupancy if occupancy is None else occupancy
+        latency = self.latency
+        port_res = self.ports[port]
+        banks = self.banks.banks
+        shift = self.banks.line_shift
+        mask = self.banks._mask
+        xbar = self
+
+        def lane(addr: int, at: int) -> int:
+            bank = banks[(addr >> shift) & mask]
+            start = port_res.next_free
+            if start < at:
+                start = at
+            bank_free = bank.next_free
+            if bank_free > start:
+                start = bank_free
+            end = start + hold
+            port_res.next_free = end
+            port_res.busy_cycles += hold
+            port_res.requests += 1
+            bank.next_free = end
+            bank.busy_cycles += hold
+            bank.requests += 1
+            xbar.wait_cycles += start - at
+            return start + latency
+
+        return lane
+
     def probe(self, addr: int, at: int, port: int = 0) -> int:
         """Record the contention a request *would* see, without queueing.
 
@@ -254,6 +294,42 @@ class MultistageCrossbar:
                 {"port": port},
             )
         return start + self.latency, wait
+
+    def make_lane(self, port: int, occupancy: int | None = None):
+        """Build a specialized ``(addr, at) -> data_ready`` closure.
+
+        Same contract as :meth:`Crossbar.make_lane`; the switch path
+        for the port is resolved once at build time (it depends only on
+        the port), leaving the bank as the only per-call lookup.
+        """
+        hold = self.occupancy if occupancy is None else occupancy
+        latency = self.latency
+        switch_path = tuple(self._route(0, port)[:-1])
+        banks = self.banks.banks
+        shift = self.banks.line_shift
+        mask = self.banks._mask
+        xbar = self
+
+        def lane(addr: int, at: int) -> int:
+            bank = banks[(addr >> shift) & mask]
+            start = at
+            for res in switch_path:
+                if res.next_free > start:
+                    start = res.next_free
+            if bank.next_free > start:
+                start = bank.next_free
+            end = start + hold
+            for res in switch_path:
+                res.next_free = end
+                res.busy_cycles += hold
+                res.requests += 1
+            bank.next_free = end
+            bank.busy_cycles += hold
+            bank.requests += 1
+            xbar.wait_cycles += start - at
+            return start + latency
+
+        return lane
 
     def probe(self, addr: int, at: int, port: int = 0) -> int:
         """Shadow variant of :meth:`access` (see :meth:`Crossbar.probe`):

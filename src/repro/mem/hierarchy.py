@@ -184,6 +184,13 @@ class MemorySystem(ABC):
     #: short name used in reports (the topology preset name)
     name: str = "abstract"
 
+    #: whether CPU models may retire runs of compute instructions ahead
+    #: of the run loop (Mipsy's batching). True for the real memory
+    #: systems — their fast lanes are pure timing closures — but
+    #: recording proxies observe every lane call in cross-CPU issue
+    #: order and must see the unbatched stream.
+    batchable: bool = True
+
     def __init__(self, config: MemConfig, stats: SystemStats) -> None:
         self.config = config
         self.stats = stats
@@ -230,6 +237,26 @@ class MemorySystem(ABC):
         time a value publish would need); -1 means take ``access``.
         """
         return -1
+
+    def fast_lanes(self, cpu):
+        """Per-CPU fast-lane closures ``(ifetch, load, store)``.
+
+        Each closure takes ``(addr, at)`` and returns the completion
+        cycle or -1 (same contract as the ``fast_*`` methods). The CPU
+        models bind these once at construction so the per-access cost
+        is one call with the probe constants captured as cell
+        variables. The default adapts the ``fast_*`` methods, so a
+        wrapper that only overrides those still works; systems with a
+        real lane build specialized closures instead.
+        """
+        fast_ifetch = self.fast_ifetch
+        fast_load = self.fast_load
+        fast_store = self.fast_store
+        return (
+            lambda addr, at: fast_ifetch(cpu, addr, at),
+            lambda addr, at: fast_load(cpu, addr, at),
+            lambda addr, at: fast_store(cpu, addr, at),
+        )
 
     def line_addr(self, addr: int) -> int:
         """Line address of a byte address under this configuration."""

@@ -16,7 +16,7 @@ processors communicate by construction inside the one data cache.
 from __future__ import annotations
 
 from repro.mem.bank import Resource
-from repro.mem.cache import CacheArray, LineState
+from repro.mem.cache import MODIFIED, SHARED, CacheArray
 from repro.mem.crossbar import Crossbar
 from repro.mem.hierarchy import MemConfig, MemorySystem, count_miss
 from repro.mem.mainmem import MainMemory
@@ -69,6 +69,8 @@ class SharedL1System(MemorySystem):
         # contention the optimistic Mipsy timing deliberately ignores,
         # without feeding back into any completion time.
         self._shadow_xbar: Crossbar | None = None
+        self._line_shift = self.l1d.line_shift
+        self._build_lanes()
 
     def attach_obs(self, obs) -> None:
         """Wire the crossbar for conflict events.
@@ -152,72 +154,112 @@ class SharedL1System(MemorySystem):
         return self._store(cpu, addr, at, posted=kind == AccessKind.STORE)
 
     # ------------------------------------------------------------------
-    # L1 hit fast lane: single tag probe + LRU refresh, no dispatch.
-    # Must mirror the hit legs of _ifetch/_load exactly — the
+    # L1 hit fast lane: single packed tag probe + LRU stamp, no
+    # dispatch. Must mirror the hit legs of _ifetch/_load exactly — the
     # differential tests run with the lane off and assert identical
     # stats. The crossbar acquire commutes with the tag probe (their
-    # state is disjoint), so probing first is safe.
+    # state is disjoint), so probing first is safe. Lanes are per-CPU
+    # closures specialized at build time (optimistic vs. real crossbar).
+
+    def _build_lanes(self) -> None:
+        n_cpus = self.config.n_cpus
+        self._lane_ifetch = [self._make_ifetch_lane(c) for c in range(n_cpus)]
+        self._lane_load = [self._make_load_lane(c) for c in range(n_cpus)]
+        self._lane_store = [self._make_store_lane(c) for c in range(n_cpus)]
+
+    def _make_ifetch_lane(self, cpu: int):
+        probe = self.l1i[cpu].make_probe()
+        shift = self._line_shift
+
+        def fast_ifetch(addr: int, at: int) -> int:
+            if probe(addr >> shift) < 0:
+                return -1
+            return at + 1
+
+        return fast_ifetch
+
+    def _make_load_lane(self, cpu: int):
+        probe = self.l1d.make_probe()
+        stats = self._l1d_stats
+        shift = self._line_shift
+        if self.config.shared_l1_optimistic:
+            def fast_load(addr: int, at: int) -> int:
+                if probe(addr >> shift) < 0:
+                    return -1
+                stats.reads += 1
+                return at + 1
+
+            return fast_load
+        xbar_lane = self.crossbar.make_lane(cpu)
+
+        def fast_load(addr: int, at: int) -> int:
+            if probe(addr >> shift) < 0:
+                return -1
+            stats.reads += 1
+            return xbar_lane(addr, at)
+
+        return fast_load
+
+    def _make_store_lane(self, cpu: int):
+        probe_modify = self.l1d.make_probe_modify()
+        stats = self._l1d_stats
+        buffer_admit = self._store_buffers[cpu].admit
+        buffer_push = self._store_buffers[cpu].push
+        shift = self._line_shift
+        if self.config.shared_l1_optimistic:
+            def fast_store(addr: int, at: int) -> int:
+                if probe_modify(addr >> shift) < 0:
+                    return -1
+                stats.writes += 1
+                release, _stalled = buffer_admit(at)
+                buffer_push(at + 1)
+                return release + 1
+
+            return fast_store
+        xbar_lane = self.crossbar.make_lane(cpu)
+
+        def fast_store(addr: int, at: int) -> int:
+            if probe_modify(addr >> shift) < 0:
+                return -1
+            stats.writes += 1
+            release, _stalled = buffer_admit(at)
+            buffer_push(xbar_lane(addr, at))
+            return release + 1
+
+        return fast_store
+
+    def fast_lanes(self, cpu):
+        """Specialized per-CPU closures (see the base class)."""
+        return (
+            self._lane_ifetch[cpu],
+            self._lane_load[cpu],
+            self._lane_store[cpu],
+        )
 
     def fast_load(self, cpu: int, addr: int, at: int) -> int:
         """Shared-L1 data hit (through the crossbar unless optimistic);
         -1 on miss."""
-        l1d = self.l1d
-        line_addr = addr >> l1d.line_shift
-        cache_set = l1d._sets[line_addr & l1d._set_mask]
-        line = cache_set.get(line_addr)
-        if line is None:
-            return -1
-        del cache_set[line_addr]
-        cache_set[line_addr] = line
-        self._l1d_stats.reads += 1
-        if self.config.shared_l1_optimistic:
-            return at + 1
-        ready, _wait = self.crossbar.access(addr, at, port=cpu)
-        return ready
+        return self._lane_load[cpu](addr, at)
 
     def fast_ifetch(self, cpu: int, addr: int, at: int) -> int:
         """Private I-cache hit (single cycle); -1 on miss."""
-        cache = self.l1i[cpu]
-        line_addr = addr >> cache.line_shift
-        cache_set = cache._sets[line_addr & cache._set_mask]
-        line = cache_set.get(line_addr)
-        if line is None:
-            return -1
-        del cache_set[line_addr]
-        cache_set[line_addr] = line
-        return at + 1
+        return self._lane_ifetch[cpu](addr, at)
 
     def fast_store(self, cpu: int, addr: int, at: int) -> int:
         """Posted store hitting the shared L1; -1 on miss."""
-        l1d = self.l1d
-        line_addr = addr >> l1d.line_shift
-        cache_set = l1d._sets[line_addr & l1d._set_mask]
-        line = cache_set.get(line_addr)
-        if line is None:
-            return -1
-        self._l1d_stats.writes += 1
-        buffer = self._store_buffers[cpu]
-        release, _stalled = buffer.admit(at)
-        if self.config.shared_l1_optimistic:
-            hit_done = at + 1
-        else:
-            hit_done, _wait = self.crossbar.access(addr, at, port=cpu)
-        del cache_set[line_addr]
-        cache_set[line_addr] = line
-        line.state = LineState.MODIFIED
-        buffer.push(hit_done)
-        return release + 1
+        return self._lane_store[cpu](addr, at)
 
     # ------------------------------------------------------------------
 
     def _ifetch(self, cpu: int, addr: int, at: int) -> AccessResult:
         cache = self.l1i[cpu]
-        if cache.lookup(addr) is not None:
+        line_addr = addr >> self._line_shift
+        if cache.probe(line_addr) >= 0:
             return AccessResult(at + 1, StallLevel.NONE)
         cache_stats = self._l1i_stats[cpu]
         cache_stats.read_misses_repl += 1  # code is never invalidated
         done, level = self._l2_access(addr, at + 1, is_store=False)
-        cache.insert(addr, LineState.SHARED)
+        cache.fill(line_addr, SHARED)
         return AccessResult(done, level)
 
     def _load(self, cpu: int, addr: int, at: int) -> AccessResult:
@@ -256,25 +298,27 @@ class SharedL1System(MemorySystem):
             ready, _wait = self.crossbar.access(addr, at, port=cpu)
             hit_done = ready
 
-        line = self.l1d.lookup(addr)
-        if line is not None:
-            if is_store:
-                line.state = LineState.MODIFIED
+        l1d = self.l1d
+        line_addr = addr >> self._line_shift
+        state = (
+            l1d.probe_modify(line_addr) if is_store else l1d.probe(line_addr)
+        )
+        if state >= 0:
             level = StallLevel.NONE if hit_done - at <= 1 else StallLevel.L1
             return hit_done, level
 
-        miss_kind = self.l1d.classify_miss(addr)
+        miss_kind = l1d.classify_line(line_addr)
         count_miss(self._l1d_stats, miss_kind, is_store)
         done, level = self._l2_access(addr, hit_done, is_store=is_store)
-        fill_state = LineState.MODIFIED if is_store else LineState.SHARED
-        victim = self.l1d.insert(addr, fill_state)
-        if victim is not None and victim.dirty:
+        fill_state = MODIFIED if is_store else SHARED
+        victim = l1d.fill(line_addr, fill_state)
+        if victim >= 0 and victim & 3 == MODIFIED:
             # The writeback drains from the victim buffer opportunistically;
             # reserving the port at the *initiating* time keeps the busy
             # timeline causal (a future reservation would head-of-line
             # block demand misses arriving in between).
             self._write_back_to_l2(
-                victim.line_addr << self.l1d.line_shift, hit_done
+                (victim >> 2) << self._line_shift, hit_done
             )
         return done, level
 
@@ -290,42 +334,44 @@ class SharedL1System(MemorySystem):
             self._l2_stats.writes += 1
         else:
             self._l2_stats.reads += 1
-        if self.l2.lookup(addr) is not None:
+        line_addr = addr >> self._line_shift
+        l2 = self.l2
+        if l2.probe(line_addr) >= 0:
             return start + config.l2_latency, StallLevel.L2
 
-        miss_kind = self.l2.classify_miss(addr)
+        miss_kind = l2.classify_line(line_addr)
         count_miss(self._l2_stats, miss_kind, is_store)
         done = self.mem.access(addr, start + config.l2_latency)
-        victim = self.l2.insert(addr, LineState.SHARED)
-        if victim is not None:
+        victim = l2.fill(line_addr, SHARED)
+        if victim >= 0:
             self._handle_l2_eviction(victim, start)
         return done, StallLevel.MEM
 
-    def _handle_l2_eviction(self, victim, at: int) -> None:
-        """Maintain inclusion and write dirty victims to memory."""
-        victim_addr = victim.line_addr << self.l2.line_shift
+    def _handle_l2_eviction(self, victim: int, at: int) -> None:
+        """Maintain inclusion and write dirty victims to memory.
+
+        ``victim`` is packed ``(line_addr << 2) | state``.
+        """
+        victim_line = victim >> 2
         self._l2_stats.evictions += 1
-        dirty = victim.dirty
+        dirty = victim & 3 == MODIFIED
         # Inclusion: the shared L1 data cache may not keep a line the L2
         # no longer holds. Replacement-caused, so it does not count as
         # an invalidation miss later. Instruction lines are read-only
         # and need no coherence, so the I-caches are exempt from
         # inclusion (as in real designs).
-        l1_line = self.l1d.invalidate(victim_addr, coherence=False)
-        if l1_line is not None and l1_line.dirty:
+        l1_state = self.l1d.evict(victim_line, coherence=False)
+        if l1_state == MODIFIED:
             dirty = True
         if dirty:
             self._l2_stats.writebacks += 1
-            self.mem.write_back(victim_addr, at)
+            self.mem.write_back(victim_line << self._line_shift, at)
 
     def _write_back_to_l2(self, addr: int, at: int) -> None:
         """Posted write-back of a dirty shared-L1 victim into the L2."""
         self._l1d_stats.writebacks += 1
         self.l2_port.acquire(at, self.config.l2_occupancy)
-        line = self.l2.lookup(addr, update_lru=False)
-        if line is not None:
-            line.state = LineState.MODIFIED
         # Inclusion means the line is normally present; if it raced out,
         # the data goes to memory instead.
-        if line is None:
+        if not self.l2.set_state(addr >> self._line_shift, MODIFIED):
             self.mem.write_back(addr, at)

@@ -18,7 +18,7 @@ workload.
 
 from __future__ import annotations
 
-from repro.mem.cache import CacheArray, LineState
+from repro.mem.cache import MODIFIED, SHARED, CacheArray
 from repro.mem.coherence.directory import Directory
 from repro.mem.crossbar import Crossbar
 from repro.mem.hierarchy import MemConfig, MemorySystem, count_miss
@@ -68,6 +68,8 @@ class SharedL2System(MemorySystem):
         self._write_buffers = [
             WriteBuffer(config.write_buffer_depth) for _ in range(n_cpus)
         ]
+        self._line_shift = self.l2.line_shift
+        self._build_lanes()
 
     def attach_obs(self, obs) -> None:
         """Wire the L2 crossbar for conflict events."""
@@ -109,63 +111,146 @@ class SharedL2System(MemorySystem):
         return self._store(cpu, addr, at, posted=kind == AccessKind.STORE)
 
     # ------------------------------------------------------------------
-    # L1 hit fast lane: both private L1s are single-cycle, so a hit is
-    # a tag probe + LRU refresh (+ the read counter on the data side).
-    # A miss returns -1 untouched and the general path re-probes — a
-    # missing lookup does not mutate, so the double probe is invisible.
+    # Fast lanes. Loads and I-fetches resolve single-cycle private L1
+    # hits (a miss returns -1 untouched and the general path re-probes —
+    # a missing probe does not mutate, so the double probe is
+    # invisible). The *store* lane covers the whole write-through path
+    # for posted value-less stores — L1 touch, buffer admission, L2
+    # drain, directory invalidations — because under write-through
+    # every store takes it; it must mirror _store(posted=True) exactly
+    # (the differential suite runs with the lane off and asserts
+    # identical stats).
+
+    def _build_lanes(self) -> None:
+        n_cpus = self.config.n_cpus
+        self._lane_ifetch = [self._make_ifetch_lane(c) for c in range(n_cpus)]
+        self._lane_load = [self._make_load_lane(c) for c in range(n_cpus)]
+        self._lane_store = [self._make_store_lane(c) for c in range(n_cpus)]
+
+    def _make_ifetch_lane(self, cpu: int):
+        probe = self.l1i[cpu].make_probe()
+        shift = self._line_shift
+
+        def fast_ifetch(addr: int, at: int) -> int:
+            if probe(addr >> shift) < 0:
+                return -1
+            return at + 1
+
+        return fast_ifetch
+
+    def _make_load_lane(self, cpu: int):
+        probe = self.l1d[cpu].make_probe()
+        stats = self._l1d_stats[cpu]
+        shift = self._line_shift
+
+        def fast_load(addr: int, at: int) -> int:
+            if probe(addr >> shift) < 0:
+                return -1
+            stats.reads += 1
+            return at + 1
+
+        return fast_load
+
+    def _make_store_lane(self, cpu: int):
+        if self.config.l1_coherence != "invalidate":
+            # The write-update walk refreshes sharers in place and
+            # charges crossbar word transfers; keep it on the one
+            # general path.
+            return lambda addr, at: -1
+        shift = self._line_shift
+        l1_probe = self.l1d[cpu].make_probe()
+        l1d_stats = self._l1d_stats[cpu]
+        all_l1ds = self.l1d
+        all_l1d_stats = self._l1d_stats
+        buffer_admit = self._write_buffers[cpu].admit
+        buffer_push = self._write_buffers[cpu].push
+        l2_probe_modify = self.l2.make_probe_modify()
+        l2_stats = self._l2_stats
+        xbar_lane = self.crossbar.make_lane(cpu, occupancy=1)
+        invalidate_mask = self.directory.invalidate_for_write_mask
+        system = self
+
+        def fast_store(addr: int, at: int) -> int:
+            l1d_stats.writes += 1
+            l1d_stats.write_throughs += 1
+            line_addr = addr >> shift
+            # Write-through: a resident copy is updated in place and
+            # stays valid; a store miss does not allocate.
+            l1_probe(line_addr)
+            release, _stalled = buffer_admit(at)
+            # The drain enters the L2 pipeline now; only the CPU is
+            # held back when the buffer is full.
+            ready = xbar_lane(addr, at)
+            l2_stats.writes += 1
+            if l2_probe_modify(line_addr) >= 0:
+                drain_done = ready
+            else:
+                drain_done = system._l2_write_miss(addr, line_addr, ready)
+            victims = invalidate_mask(line_addr, cpu)
+            if victims:
+                other = 0
+                while victims:
+                    if victims & 1 and all_l1ds[other].evict(line_addr) >= 0:
+                        all_l1d_stats[other].invalidations_received += 1
+                        if system.obs is not None:
+                            system.obs.record_coherence(
+                                other, "inval", at, {"by": cpu}
+                            )
+                    victims >>= 1
+                    other += 1
+            buffer_push(drain_done)
+            return release + 1
+
+        return fast_store
+
+    def fast_lanes(self, cpu):
+        """Specialized per-CPU closures (see the base class)."""
+        return (
+            self._lane_ifetch[cpu],
+            self._lane_load[cpu],
+            self._lane_store[cpu],
+        )
 
     def fast_load(self, cpu: int, addr: int, at: int) -> int:
         """Private write-through L1D hit (single cycle); -1 on miss."""
-        cache = self.l1d[cpu]
-        line_addr = addr >> cache.line_shift
-        cache_set = cache._sets[line_addr & cache._set_mask]
-        line = cache_set.get(line_addr)
-        if line is None:
-            return -1
-        del cache_set[line_addr]
-        cache_set[line_addr] = line
-        self._l1d_stats[cpu].reads += 1
-        return at + 1
+        return self._lane_load[cpu](addr, at)
 
     def fast_ifetch(self, cpu: int, addr: int, at: int) -> int:
         """Private I-cache hit (single cycle); -1 on miss."""
-        cache = self.l1i[cpu]
-        line_addr = addr >> cache.line_shift
-        cache_set = cache._sets[line_addr & cache._set_mask]
-        line = cache_set.get(line_addr)
-        if line is None:
-            return -1
-        del cache_set[line_addr]
-        cache_set[line_addr] = line
-        return at + 1
+        return self._lane_ifetch[cpu](addr, at)
+
+    def fast_store(self, cpu: int, addr: int, at: int) -> int:
+        """Posted value-less store through the write-through path."""
+        return self._lane_store[cpu](addr, at)
 
     # ------------------------------------------------------------------
 
     def _ifetch(self, cpu: int, addr: int, at: int) -> AccessResult:
         cache = self.l1i[cpu]
-        if cache.lookup(addr) is not None:
+        line_addr = addr >> self._line_shift
+        if cache.probe(line_addr) >= 0:
             return AccessResult(at + 1, StallLevel.NONE)
         self._l1i_stats[cpu].read_misses_repl += 1
         done, level = self._l2_read(cpu, addr, at + 1)
-        cache.insert(addr, LineState.SHARED)
+        cache.fill(line_addr, SHARED)
         return AccessResult(done, level)
 
     def _load(self, cpu: int, addr: int, at: int) -> AccessResult:
         cache = self.l1d[cpu]
         cache_stats = self._l1d_stats[cpu]
         cache_stats.reads += 1
-        if cache.lookup(addr) is not None:
+        line_addr = addr >> self._line_shift
+        if cache.probe(line_addr) >= 0:
             return AccessResult(at + 1, StallLevel.NONE)
 
-        miss_kind = cache.classify_miss(addr)
+        miss_kind = cache.classify_line(line_addr)
         count_miss(cache_stats, miss_kind, is_store=False)
         done, level = self._l2_read(cpu, addr, at + 1)
-        victim = cache.insert(addr, LineState.SHARED)
-        line_addr = addr >> cache.line_shift
+        victim = cache.fill(line_addr, SHARED)
         self.directory.add_holder(line_addr, cpu)
-        if victim is not None:
+        if victim >= 0:
             cache_stats.evictions += 1
-            self.directory.remove_holder(victim.line_addr, cpu)
+            self.directory.remove_holder(victim >> 2, cpu)
         return AccessResult(done, level)
 
     def _store(
@@ -183,9 +268,10 @@ class SharedL2System(MemorySystem):
         cache_stats = self._l1d_stats[cpu]
         cache_stats.writes += 1
         cache_stats.write_throughs += 1
+        line_addr = addr >> self._line_shift
         # Write-through: a resident copy is updated in place and stays
         # valid; a store miss does not allocate.
-        cache.lookup(addr)
+        cache.probe(line_addr)
 
         if posted:
             release, stalled = self._write_buffers[cpu].admit(at)
@@ -195,13 +281,12 @@ class SharedL2System(MemorySystem):
         # back when the buffer is full.
         drain_done = self._l2_write_drain(cpu, addr, at)
 
-        line_addr = addr >> cache.line_shift
         if self.config.l1_coherence == "update":
             # Write-update: sharers' copies are refreshed in place; the
             # broadcast costs one word transfer on the writer's
             # crossbar port per live sharer.
             for other in self.directory.holders(line_addr, excluding=cpu):
-                if self.l1d[other].lookup(addr, update_lru=False) is None:
+                if self.l1d[other].probe_quiet(line_addr) < 0:
                     # The sharer silently dropped the line; stop
                     # updating it.
                     self.directory.remove_holder(line_addr, other)
@@ -213,14 +298,17 @@ class SharedL2System(MemorySystem):
                         other, "update", at, {"by": cpu}
                     )
         else:
-            victims = self.directory.invalidate_for_write(line_addr, cpu)
-            for other in victims:
-                if self.l1d[other].invalidate(addr, coherence=True) is not None:
+            victims = self.directory.invalidate_for_write_mask(line_addr, cpu)
+            other = 0
+            while victims:
+                if victims & 1 and self.l1d[other].evict(line_addr) >= 0:
                     self._l1d_stats[other].invalidations_received += 1
                     if self.obs is not None:
                         self.obs.record_coherence(
                             other, "inval", at, {"by": cpu}
                         )
+                victims >>= 1
+                other += 1
 
         if not posted:
             return AccessResult(drain_done, StallLevel.L2, visible=drain_done)
@@ -236,13 +324,14 @@ class SharedL2System(MemorySystem):
         """Refill path: L1 miss (data or instruction) through the L2."""
         ready, _wait = self.crossbar.access(addr, at, port=cpu)
         self._l2_stats.reads += 1
-        if self.l2.lookup(addr) is not None:
+        line_addr = addr >> self._line_shift
+        if self.l2.probe(line_addr) >= 0:
             return ready, StallLevel.L2
-        miss_kind = self.l2.classify_miss(addr)
+        miss_kind = self.l2.classify_line(line_addr)
         count_miss(self._l2_stats, miss_kind, is_store=False)
         done = self.mem.access(addr, ready)
-        victim = self.l2.insert(addr, LineState.SHARED)
-        if victim is not None:
+        victim = self.l2.fill(line_addr, SHARED)
+        if victim >= 0:
             self._handle_l2_eviction(victim, ready)
         return done, StallLevel.MEM
 
@@ -255,31 +344,36 @@ class SharedL2System(MemorySystem):
         """
         ready, _wait = self.crossbar.access(addr, at, port=cpu, occupancy=1)
         self._l2_stats.writes += 1
-        line = self.l2.lookup(addr)
-        if line is not None:
-            line.state = LineState.MODIFIED
+        line_addr = addr >> self._line_shift
+        if self.l2.probe_modify(line_addr) >= 0:
             return ready
-        # Write-allocate in the (write-back) L2: fetch the line first.
-        miss_kind = self.l2.classify_miss(addr)
+        return self._l2_write_miss(addr, line_addr, ready)
+
+    def _l2_write_miss(self, addr: int, line_addr: int, ready: int) -> int:
+        """Write-allocate in the (write-back) L2: fetch the line first."""
+        miss_kind = self.l2.classify_line(line_addr)
         count_miss(self._l2_stats, miss_kind, is_store=True)
         done = self.mem.access(addr, ready)
-        victim = self.l2.insert(addr, LineState.MODIFIED)
-        if victim is not None:
+        victim = self.l2.fill(line_addr, MODIFIED)
+        if victim >= 0:
             self._handle_l2_eviction(victim, ready)
         return done
 
-    def _handle_l2_eviction(self, victim, at: int) -> None:
+    def _handle_l2_eviction(self, victim: int, at: int) -> None:
         """L2 replacement: invalidate L1 copies (inclusion) and write
-        dirty data to memory."""
+        dirty data to memory.
+
+        ``victim`` is packed ``(line_addr << 2) | state``.
+        """
         self._l2_stats.evictions += 1
-        victim_addr = victim.line_addr << self.l2.line_shift
-        for cpu in self.directory.clear(victim.line_addr):
+        victim_line = victim >> 2
+        for cpu in self.directory.clear(victim_line):
             # Replacement-caused, not communication: classify later
             # misses on this line as replacement misses.
-            self.l1d[cpu].invalidate(victim_addr, coherence=False)
-        if victim.dirty:
+            self.l1d[cpu].evict(victim_line, coherence=False)
+        if victim & 3 == MODIFIED:
             self._l2_stats.writebacks += 1
-            self.mem.write_back(victim_addr, at)
+            self.mem.write_back(victim_line << self._line_shift, at)
 
     # ------------------------------------------------------------------
 

@@ -18,7 +18,7 @@ cycle while a per-CPU write buffer drains them through to the L3.
 from __future__ import annotations
 
 from repro.mem.bank import Resource
-from repro.mem.cache import CacheArray, LineState
+from repro.mem.cache import MODIFIED, SHARED, CacheArray
 from repro.mem.coherence.directory import Directory
 from repro.mem.crossbar import Crossbar
 from repro.mem.hierarchy import MemConfig, MemorySystem, count_miss
@@ -84,6 +84,8 @@ class SharedL3System(MemorySystem):
         self._write_buffers = [
             WriteBuffer(config.write_buffer_depth) for _ in range(n_cpus)
         ]
+        self._line_shift = self.l3.line_shift
+        self._build_lanes()
 
     def attach_obs(self, obs) -> None:
         """Wire the L3 crossbar for conflict events."""
@@ -129,59 +131,141 @@ class SharedL3System(MemorySystem):
         return self._store(cpu, addr, at, posted=kind == AccessKind.STORE)
 
     # ------------------------------------------------------------------
-    # L1 hit fast lane (same contract as the other systems: a hit is a
-    # tag probe + LRU refresh; anything else returns -1 untouched).
+    # Fast lanes. Loads and I-fetches resolve single-cycle private L1
+    # hits. The store lane covers the whole write-through path for
+    # posted value-less stores (this topology always runs directory
+    # invalidation, so there is no coherence-mode gate); it must mirror
+    # _store(posted=True) exactly.
+
+    def _build_lanes(self) -> None:
+        n_cpus = self.config.n_cpus
+        self._lane_ifetch = [self._make_ifetch_lane(c) for c in range(n_cpus)]
+        self._lane_load = [self._make_load_lane(c) for c in range(n_cpus)]
+        self._lane_store = [self._make_store_lane(c) for c in range(n_cpus)]
+
+    def _make_ifetch_lane(self, cpu: int):
+        probe = self.l1i[cpu].make_probe()
+        shift = self._line_shift
+
+        def fast_ifetch(addr: int, at: int) -> int:
+            if probe(addr >> shift) < 0:
+                return -1
+            return at + 1
+
+        return fast_ifetch
+
+    def _make_load_lane(self, cpu: int):
+        probe = self.l1d[cpu].make_probe()
+        stats = self._l1d_stats[cpu]
+        shift = self._line_shift
+
+        def fast_load(addr: int, at: int) -> int:
+            if probe(addr >> shift) < 0:
+                return -1
+            stats.reads += 1
+            return at + 1
+
+        return fast_load
+
+    def _make_store_lane(self, cpu: int):
+        shift = self._line_shift
+        l1_probe = self.l1d[cpu].make_probe()
+        l2_probe = self.l2[cpu].make_probe()
+        l1d_stats = self._l1d_stats[cpu]
+        l2_stats = self._l2_stats[cpu]
+        all_l1ds = self.l1d
+        all_l2s = self.l2
+        all_l1d_stats = self._l1d_stats
+        buffer_admit = self._write_buffers[cpu].admit
+        buffer_push = self._write_buffers[cpu].push
+        l3_probe_modify = self.l3.make_probe_modify()
+        l3_stats = self._l3_stats
+        xbar_lane = self.crossbar.make_lane(cpu, occupancy=1)
+        invalidate_mask = self.directory.invalidate_for_write_mask
+        system = self
+
+        def fast_store(addr: int, at: int) -> int:
+            l1d_stats.writes += 1
+            l1d_stats.write_throughs += 1
+            line_addr = addr >> shift
+            l1_probe(line_addr)
+            l2_stats.writes += 1
+            l2_probe(line_addr)
+            release, _stalled = buffer_admit(at)
+            ready = xbar_lane(addr, at)
+            l3_stats.writes += 1
+            if l3_probe_modify(line_addr) >= 0:
+                drain_done = ready
+            else:
+                drain_done = system._l3_write_miss(addr, line_addr, ready)
+            victims = invalidate_mask(line_addr, cpu)
+            if victims:
+                other = 0
+                while victims:
+                    if victims & 1:
+                        hit = all_l1ds[other].evict(line_addr) >= 0
+                        if all_l2s[other].evict(line_addr) >= 0:
+                            hit = True
+                        if hit:
+                            all_l1d_stats[other].invalidations_received += 1
+                            if system.obs is not None:
+                                system.obs.record_coherence(
+                                    other, "inval", at, {"by": cpu}
+                                )
+                    victims >>= 1
+                    other += 1
+            buffer_push(drain_done)
+            return release + 1
+
+        return fast_store
+
+    def fast_lanes(self, cpu):
+        """Specialized per-CPU closures (see the base class)."""
+        return (
+            self._lane_ifetch[cpu],
+            self._lane_load[cpu],
+            self._lane_store[cpu],
+        )
 
     def fast_load(self, cpu: int, addr: int, at: int) -> int:
         """Private write-through L1D hit (single cycle); -1 on miss."""
-        cache = self.l1d[cpu]
-        line_addr = addr >> cache.line_shift
-        cache_set = cache._sets[line_addr & cache._set_mask]
-        line = cache_set.get(line_addr)
-        if line is None:
-            return -1
-        del cache_set[line_addr]
-        cache_set[line_addr] = line
-        self._l1d_stats[cpu].reads += 1
-        return at + 1
+        return self._lane_load[cpu](addr, at)
 
     def fast_ifetch(self, cpu: int, addr: int, at: int) -> int:
         """Private I-cache hit (single cycle); -1 on miss."""
-        cache = self.l1i[cpu]
-        line_addr = addr >> cache.line_shift
-        cache_set = cache._sets[line_addr & cache._set_mask]
-        line = cache_set.get(line_addr)
-        if line is None:
-            return -1
-        del cache_set[line_addr]
-        cache_set[line_addr] = line
-        return at + 1
+        return self._lane_ifetch[cpu](addr, at)
+
+    def fast_store(self, cpu: int, addr: int, at: int) -> int:
+        """Posted value-less store through the write-through path."""
+        return self._lane_store[cpu](addr, at)
 
     # ------------------------------------------------------------------
 
     def _ifetch(self, cpu: int, addr: int, at: int) -> AccessResult:
         cache = self.l1i[cpu]
-        if cache.lookup(addr) is not None:
+        line_addr = addr >> self._line_shift
+        if cache.probe(line_addr) >= 0:
             return AccessResult(at + 1, StallLevel.NONE)
         self._l1i_stats[cpu].read_misses_repl += 1
         done, level = self._refill(cpu, addr, at + 1, track_holder=False)
-        cache.insert(addr, LineState.SHARED)
+        cache.fill(line_addr, SHARED)
         return AccessResult(done, level)
 
     def _load(self, cpu: int, addr: int, at: int) -> AccessResult:
         cache = self.l1d[cpu]
         cache_stats = self._l1d_stats[cpu]
         cache_stats.reads += 1
-        if cache.lookup(addr) is not None:
+        line_addr = addr >> self._line_shift
+        if cache.probe(line_addr) >= 0:
             return AccessResult(at + 1, StallLevel.NONE)
 
-        miss_kind = cache.classify_miss(addr)
+        miss_kind = cache.classify_line(line_addr)
         count_miss(cache_stats, miss_kind, is_store=False)
         done, level = self._refill(cpu, addr, at + 1, track_holder=True)
-        victim = cache.insert(addr, LineState.SHARED)
-        if victim is not None:
+        victim = cache.fill(line_addr, SHARED)
+        if victim >= 0:
             cache_stats.evictions += 1
-            self._drop_holder_if_gone(cpu, victim.line_addr)
+            self._drop_holder_if_gone(cpu, victim >> 2)
         return AccessResult(done, level)
 
     def _store(
@@ -196,10 +280,11 @@ class SharedL3System(MemorySystem):
         cache_stats = self._l1d_stats[cpu]
         cache_stats.writes += 1
         cache_stats.write_throughs += 1
-        self.l1d[cpu].lookup(addr)
+        line_addr = addr >> self._line_shift
+        self.l1d[cpu].probe(line_addr)
         l2_stats = self._l2_stats[cpu]
         l2_stats.writes += 1
-        self.l2[cpu].lookup(addr)
+        self.l2[cpu].probe(line_addr)
 
         if posted:
             release, stalled = self._write_buffers[cpu].admit(at)
@@ -207,18 +292,21 @@ class SharedL3System(MemorySystem):
             release, stalled = at, False
         drain_done = self._l3_write_drain(cpu, addr, at)
 
-        line_addr = addr >> self.l1d[cpu].line_shift
-        victims = self.directory.invalidate_for_write(line_addr, cpu)
-        for other in victims:
-            hit = False
-            if self.l1d[other].invalidate(addr, coherence=True) is not None:
-                hit = True
-            if self.l2[other].invalidate(addr, coherence=True) is not None:
-                hit = True
-            if hit:
-                self._l1d_stats[other].invalidations_received += 1
-                if self.obs is not None:
-                    self.obs.record_coherence(other, "inval", at, {"by": cpu})
+        victims = self.directory.invalidate_for_write_mask(line_addr, cpu)
+        other = 0
+        while victims:
+            if victims & 1:
+                hit = self.l1d[other].evict(line_addr) >= 0
+                if self.l2[other].evict(line_addr) >= 0:
+                    hit = True
+                if hit:
+                    self._l1d_stats[other].invalidations_received += 1
+                    if self.obs is not None:
+                        self.obs.record_coherence(
+                            other, "inval", at, {"by": cpu}
+                        )
+            victims >>= 1
+            other += 1
 
         if not posted:
             return AccessResult(drain_done, StallLevel.L2, visible=drain_done)
@@ -236,27 +324,26 @@ class SharedL3System(MemorySystem):
         l2 = self.l2[cpu]
         l2_stats = self._l2_stats[cpu]
         l2_stats.reads += 1
+        line_addr = addr >> self._line_shift
         if track_holder:
-            line_addr = addr >> l2.line_shift
             self.directory.add_holder(line_addr, cpu)
-        if l2.lookup(addr) is not None:
+        if l2.probe(line_addr) >= 0:
             return port_start + self._l2_latency, StallLevel.L2
-        miss_kind = l2.classify_miss(addr)
+        miss_kind = l2.classify_line(line_addr)
         count_miss(l2_stats, miss_kind, is_store=False)
         done, level = self._l3_read(cpu, addr, port_start + self._l2_latency)
-        victim = l2.insert(addr, LineState.SHARED)
-        if victim is not None:
+        victim = l2.fill(line_addr, SHARED)
+        if victim >= 0:
             l2_stats.evictions += 1
-            self._drop_holder_if_gone(cpu, victim.line_addr)
+            self._drop_holder_if_gone(cpu, victim >> 2)
         return done, level
 
     def _drop_holder_if_gone(self, cpu: int, line_addr: int) -> None:
         """Clear the directory bit once neither private level holds the
         line (the two levels are not inclusive of each other)."""
-        addr = line_addr << self.l3.line_shift
-        if self.l1d[cpu].lookup(addr, update_lru=False) is not None:
+        if self.l1d[cpu].probe_quiet(line_addr) >= 0:
             return
-        if self.l2[cpu].lookup(addr, update_lru=False) is not None:
+        if self.l2[cpu].probe_quiet(line_addr) >= 0:
             return
         self.directory.remove_holder(line_addr, cpu)
 
@@ -266,13 +353,14 @@ class SharedL3System(MemorySystem):
         """Refill path through the shared L3 banks."""
         ready, _wait = self.crossbar.access(addr, at, port=cpu)
         self._l3_stats.reads += 1
-        if self.l3.lookup(addr) is not None:
+        line_addr = addr >> self._line_shift
+        if self.l3.probe(line_addr) >= 0:
             return ready, StallLevel.L2
-        miss_kind = self.l3.classify_miss(addr)
+        miss_kind = self.l3.classify_line(line_addr)
         count_miss(self._l3_stats, miss_kind, is_store=False)
         done = self.mem.access(addr, ready)
-        victim = self.l3.insert(addr, LineState.SHARED)
-        if victim is not None:
+        victim = self.l3.fill(line_addr, SHARED)
+        if victim >= 0:
             self._handle_l3_eviction(victim, ready)
         return done, StallLevel.MEM
 
@@ -280,31 +368,36 @@ class SharedL3System(MemorySystem):
         """One write-buffer entry draining into its L3 bank."""
         ready, _wait = self.crossbar.access(addr, at, port=cpu, occupancy=1)
         self._l3_stats.writes += 1
-        line = self.l3.lookup(addr)
-        if line is not None:
-            line.state = LineState.MODIFIED
+        line_addr = addr >> self._line_shift
+        if self.l3.probe_modify(line_addr) >= 0:
             return ready
-        # Write-allocate in the (write-back) L3: fetch the line first.
-        miss_kind = self.l3.classify_miss(addr)
+        return self._l3_write_miss(addr, line_addr, ready)
+
+    def _l3_write_miss(self, addr: int, line_addr: int, ready: int) -> int:
+        """Write-allocate in the (write-back) L3: fetch the line first."""
+        miss_kind = self.l3.classify_line(line_addr)
         count_miss(self._l3_stats, miss_kind, is_store=True)
         done = self.mem.access(addr, ready)
-        victim = self.l3.insert(addr, LineState.MODIFIED)
-        if victim is not None:
+        victim = self.l3.fill(line_addr, MODIFIED)
+        if victim >= 0:
             self._handle_l3_eviction(victim, ready)
         return done
 
-    def _handle_l3_eviction(self, victim, at: int) -> None:
+    def _handle_l3_eviction(self, victim: int, at: int) -> None:
         """L3 replacement: invalidate private copies (inclusion) and
-        write dirty data to memory."""
+        write dirty data to memory.
+
+        ``victim`` is packed ``(line_addr << 2) | state``.
+        """
         self._l3_stats.evictions += 1
-        victim_addr = victim.line_addr << self.l3.line_shift
-        for cpu in self.directory.clear(victim.line_addr):
+        victim_line = victim >> 2
+        for cpu in self.directory.clear(victim_line):
             # Replacement-caused, not communication.
-            self.l1d[cpu].invalidate(victim_addr, coherence=False)
-            self.l2[cpu].invalidate(victim_addr, coherence=False)
-        if victim.dirty:
+            self.l1d[cpu].evict(victim_line, coherence=False)
+            self.l2[cpu].evict(victim_line, coherence=False)
+        if victim & 3 == MODIFIED:
             self._l3_stats.writebacks += 1
-            self.mem.write_back(victim_addr, at)
+            self.mem.write_back(victim_line << self._line_shift, at)
 
     # ------------------------------------------------------------------
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.mem.bank import Resource
 from repro.mem.bus import SnoopyBus
-from repro.mem.cache import CacheArray, CacheLine, LineState
+from repro.mem.cache import EXCLUSIVE, MODIFIED, SHARED, CacheArray
 from repro.mem.coherence.mesi import SnoopController
 from repro.mem.hierarchy import MemConfig, MemorySystem, count_miss
 from repro.mem.types import AccessKind, AccessResult, StallLevel
@@ -58,6 +58,8 @@ class SharedMemorySystem(MemorySystem):
         self._store_buffers = [
             WriteBuffer(config.write_buffer_depth) for _ in range(n_cpus)
         ]
+        self._line_shift = self.l1d[0].line_shift
+        self._build_lanes()
 
     def attach_obs(self, obs) -> None:
         """Wire the snoopy bus for per-transaction events."""
@@ -115,74 +117,105 @@ class SharedMemorySystem(MemorySystem):
         return self._store(cpu, addr, at, posted=kind == AccessKind.STORE)
 
     # ------------------------------------------------------------------
-    # L1 hit fast lane: private single-cycle L1s, so a hit is a tag
-    # probe + LRU refresh (+ the read counter on the data side). Loads
-    # never change MESI state on a hit, so the lane is state-blind; a
-    # miss returns -1 with nothing touched.
+    # L1 hit fast lane: private single-cycle L1s, so a hit is a packed
+    # tag probe + LRU stamp (+ the read counter on the data side).
+    # Loads never change MESI state on a hit, so the lane is
+    # state-blind; a miss returns -1 with nothing touched. The lanes
+    # are per-CPU closures with the probe constants captured as cell
+    # variables (see MemorySystem.fast_lanes).
+
+    def _build_lanes(self) -> None:
+        n_cpus = self.config.n_cpus
+        self._lane_ifetch = [self._make_ifetch_lane(c) for c in range(n_cpus)]
+        self._lane_load = [self._make_load_lane(c) for c in range(n_cpus)]
+        self._lane_store = [self._make_store_lane(c) for c in range(n_cpus)]
+
+    def _make_ifetch_lane(self, cpu: int):
+        probe = self.l1i[cpu].make_probe()
+        shift = self._line_shift
+
+        def fast_ifetch(addr: int, at: int) -> int:
+            if probe(addr >> shift) < 0:
+                return -1
+            return at + 1
+
+        return fast_ifetch
+
+    def _make_load_lane(self, cpu: int):
+        probe = self.l1d[cpu].make_probe()
+        stats = self._l1d_stats[cpu]
+        shift = self._line_shift
+
+        def fast_load(addr: int, at: int) -> int:
+            if probe(addr >> shift) < 0:
+                return -1
+            stats.reads += 1
+            return at + 1
+
+        return fast_load
+
+    def _make_store_lane(self, cpu: int):
+        # Only an already-MODIFIED line may absorb a posted store
+        # without a transaction (E/S states need upgrades).
+        probe_dirty = self.l1d[cpu].make_probe_dirty()
+        stats = self._l1d_stats[cpu]
+        buffer = self._store_buffers[cpu]
+        shift = self._line_shift
+
+        def fast_store(addr: int, at: int) -> int:
+            if not probe_dirty(addr >> shift):
+                return -1
+            stats.writes += 1
+            release, _stalled = buffer.admit(at)
+            buffer.push(at + 1)
+            return release + 1
+
+        return fast_store
+
+    def fast_lanes(self, cpu):
+        """Specialized per-CPU closures (see the base class)."""
+        return (
+            self._lane_ifetch[cpu],
+            self._lane_load[cpu],
+            self._lane_store[cpu],
+        )
 
     def fast_load(self, cpu: int, addr: int, at: int) -> int:
         """Private write-back L1D hit (single cycle); -1 on miss."""
-        cache = self.l1d[cpu]
-        line_addr = addr >> cache.line_shift
-        cache_set = cache._sets[line_addr & cache._set_mask]
-        line = cache_set.get(line_addr)
-        if line is None:
-            return -1
-        del cache_set[line_addr]
-        cache_set[line_addr] = line
-        self._l1d_stats[cpu].reads += 1
-        return at + 1
+        return self._lane_load[cpu](addr, at)
 
     def fast_ifetch(self, cpu: int, addr: int, at: int) -> int:
         """Private I-cache hit (single cycle); -1 on miss."""
-        cache = self.l1i[cpu]
-        line_addr = addr >> cache.line_shift
-        cache_set = cache._sets[line_addr & cache._set_mask]
-        line = cache_set.get(line_addr)
-        if line is None:
-            return -1
-        del cache_set[line_addr]
-        cache_set[line_addr] = line
-        return at + 1
+        return self._lane_ifetch[cpu](addr, at)
 
     def fast_store(self, cpu: int, addr: int, at: int) -> int:
         """Posted store hitting an already-MODIFIED private L1 line;
         -1 otherwise (E/S states need upgrades — general path)."""
-        cache = self.l1d[cpu]
-        line_addr = addr >> cache.line_shift
-        cache_set = cache._sets[line_addr & cache._set_mask]
-        line = cache_set.get(line_addr)
-        if line is None or line.state is not LineState.MODIFIED:
-            return -1
-        self._l1d_stats[cpu].writes += 1
-        buffer = self._store_buffers[cpu]
-        release, _stalled = buffer.admit(at)
-        del cache_set[line_addr]
-        cache_set[line_addr] = line
-        buffer.push(at + 1)
-        return release + 1
+        return self._lane_store[cpu](addr, at)
 
     # ------------------------------------------------------------------
 
     def _ifetch(self, cpu: int, addr: int, at: int) -> AccessResult:
         cache = self.l1i[cpu]
-        if cache.lookup(addr) is not None:
+        line_addr = addr >> self._line_shift
+        if cache.probe(line_addr) >= 0:
             return AccessResult(at + 1, StallLevel.NONE)
         self._l1i_stats[cpu].read_misses_repl += 1
         start = self.l2_ports[cpu].acquire(at + 1, self.config.l2_occupancy)
         self._l2_stats[cpu].reads += 1
-        if self.l2[cpu].lookup(addr) is not None:
+        l2 = self.l2[cpu]
+        if l2.probe(line_addr) >= 0:
             done = start + self.config.l2_latency
             level = StallLevel.L2
         else:
-            miss_kind = self.l2[cpu].classify_miss(addr)
+            miss_kind = l2.classify_line(line_addr)
             count_miss(self._l2_stats[cpu], miss_kind, is_store=False)
             done = self.bus.memory_read(start + self.config.l2_latency)
-            victim = self.l2[cpu].insert(addr, LineState.SHARED)
-            if victim is not None:
+            victim = l2.fill(line_addr, SHARED)
+            if victim >= 0:
                 self._handle_l2_eviction(cpu, victim, start)
             level = StallLevel.MEM
-        cache.insert(addr, LineState.SHARED)
+        cache.fill(line_addr, SHARED)
         return AccessResult(done, level)
 
     # ------------------------------------------------------------------
@@ -191,47 +224,43 @@ class SharedMemorySystem(MemorySystem):
         cache = self.l1d[cpu]
         cache_stats = self._l1d_stats[cpu]
         cache_stats.reads += 1
-        if cache.lookup(addr) is not None:
+        line_addr = addr >> self._line_shift
+        if cache.probe(line_addr) >= 0:
             return AccessResult(at + 1, StallLevel.NONE)
 
-        miss_kind = cache.classify_miss(addr)
+        miss_kind = cache.classify_line(line_addr)
         count_miss(cache_stats, miss_kind, is_store=False)
 
         config = self.config
         start = self.l2_ports[cpu].acquire(at + 1, config.l2_occupancy)
         self._l2_stats[cpu].reads += 1
-        l2_line = self.l2[cpu].lookup(addr)
-        if l2_line is not None:
+        l2 = self.l2[cpu]
+        l2_state = l2.probe(line_addr)
+        if l2_state >= 0:
             done = start + config.l2_latency
             level = StallLevel.L2
-            l1_state = (
-                LineState.SHARED
-                if l2_line.state == LineState.SHARED
-                else LineState.EXCLUSIVE
-            )
+            l1_state = SHARED if l2_state == SHARED else EXCLUSIVE
         else:
-            l2_miss = self.l2[cpu].classify_miss(addr)
+            l2_miss = l2.classify_line(line_addr)
             count_miss(self._l2_stats[cpu], l2_miss, is_store=False)
             bus_at = start + config.l2_latency
-            remote_copy = self.snoop.any_remote_copy(cpu, addr)
-            source = self.snoop.snoop_read(cpu, addr)
+            remote_copy = self.snoop.any_remote_copy(cpu, line_addr)
+            source = self.snoop.snoop_read(cpu, line_addr)
             if source == "c2c":
                 done = self.bus.cache_to_cache(bus_at)
                 level = StallLevel.C2C
                 self.stats.c2c_transfers += 1
-                l1_state = LineState.SHARED
+                l1_state = SHARED
             else:
                 done = self.bus.memory_read(bus_at)
                 level = StallLevel.MEM
-                l1_state = (
-                    LineState.SHARED if remote_copy else LineState.EXCLUSIVE
-                )
-            victim = self.l2[cpu].insert(addr, l1_state)
-            if victim is not None:
+                l1_state = SHARED if remote_copy else EXCLUSIVE
+            victim = l2.fill(line_addr, l1_state)
+            if victim >= 0:
                 self._handle_l2_eviction(cpu, victim, bus_at)
 
-        victim = cache.insert(addr, l1_state)
-        if victim is not None:
+        victim = cache.fill(line_addr, l1_state)
+        if victim >= 0:
             self._handle_l1_eviction(cpu, victim, at + 1)
         return AccessResult(done, level)
 
@@ -260,36 +289,38 @@ class SharedMemorySystem(MemorySystem):
         cache = self.l1d[cpu]
         cache_stats = self._l1d_stats[cpu]
         config = self.config
+        line_addr = addr >> self._line_shift
 
-        line = cache.lookup(addr)
-        if line is not None:
-            if line.state == LineState.MODIFIED:
+        state = cache.probe(line_addr)
+        if state >= 0:
+            if state == MODIFIED:
                 return at + 1, StallLevel.NONE
-            if line.state == LineState.EXCLUSIVE:
+            if state == EXCLUSIVE:
                 # Silent E->M upgrade; mirror ownership into the L2 so
                 # snoops (which check the L2 tags) see the dirty line.
-                line.state = LineState.MODIFIED
-                self._set_l2_state(cpu, addr, LineState.MODIFIED)
+                cache.set_state(line_addr, MODIFIED)
+                self.l2[cpu].set_state(line_addr, MODIFIED)
                 return at + 1, StallLevel.NONE
             # SHARED: invalidate-only bus transaction.
             done = self.bus.upgrade(at + 1)
-            self.snoop.upgrade(cpu, addr)
+            self.snoop.upgrade(cpu, line_addr)
             if self.obs is not None:
                 self.obs.record_coherence(cpu, "upgrade", at + 1)
-            line.state = LineState.MODIFIED
-            self._set_l2_state(cpu, addr, LineState.MODIFIED)
+            cache.set_state(line_addr, MODIFIED)
+            self.l2[cpu].set_state(line_addr, MODIFIED)
             return done, StallLevel.MEM
 
-        miss_kind = cache.classify_miss(addr)
+        miss_kind = cache.classify_line(line_addr)
         count_miss(cache_stats, miss_kind, is_store=True)
 
         start = self.l2_ports[cpu].acquire(at + 1, config.l2_occupancy)
         self._l2_stats[cpu].writes += 1
-        l2_line = self.l2[cpu].lookup(addr)
-        if l2_line is not None:
-            if l2_line.state == LineState.SHARED:
+        l2 = self.l2[cpu]
+        l2_state = l2.probe(line_addr)
+        if l2_state >= 0:
+            if l2_state == SHARED:
                 done = self.bus.upgrade(start + config.l2_latency)
-                self.snoop.upgrade(cpu, addr)
+                self.snoop.upgrade(cpu, line_addr)
                 if self.obs is not None:
                     self.obs.record_coherence(
                         cpu, "upgrade", start + config.l2_latency
@@ -298,12 +329,12 @@ class SharedMemorySystem(MemorySystem):
             else:
                 done = start + config.l2_latency
                 level = StallLevel.L2
-            l2_line.state = LineState.MODIFIED
+            l2.set_state(line_addr, MODIFIED)
         else:
-            l2_miss = self.l2[cpu].classify_miss(addr)
+            l2_miss = l2.classify_line(line_addr)
             count_miss(self._l2_stats[cpu], l2_miss, is_store=True)
             bus_at = start + config.l2_latency
-            source = self.snoop.snoop_write(cpu, addr)
+            source = self.snoop.snoop_write(cpu, line_addr)
             if self.obs is not None:
                 self.obs.record_coherence(
                     cpu, "rfo", bus_at, {"source": source}
@@ -315,41 +346,40 @@ class SharedMemorySystem(MemorySystem):
             else:
                 done = self.bus.memory_read(bus_at)
                 level = StallLevel.MEM
-            victim = self.l2[cpu].insert(addr, LineState.MODIFIED)
-            if victim is not None:
+            victim = l2.fill(line_addr, MODIFIED)
+            if victim >= 0:
                 self._handle_l2_eviction(cpu, victim, bus_at)
 
-        victim = cache.insert(addr, LineState.MODIFIED)
-        if victim is not None:
+        victim = cache.fill(line_addr, MODIFIED)
+        if victim >= 0:
             self._handle_l1_eviction(cpu, victim, at + 1)
         return done, level
 
     # ------------------------------------------------------------------
 
-    def _set_l2_state(self, cpu: int, addr: int, state: LineState) -> None:
-        l2_line = self.l2[cpu].lookup(addr, update_lru=False)
-        if l2_line is not None:
-            l2_line.state = state
+    def _handle_l1_eviction(self, cpu: int, victim: int, at: int) -> None:
+        """A dirty L1 victim writes back into the (inclusive) L2.
 
-    def _handle_l1_eviction(self, cpu: int, victim: CacheLine, at: int) -> None:
-        """A dirty L1 victim writes back into the (inclusive) L2."""
+        ``victim`` is packed ``(line_addr << 2) | state``.
+        """
         self._l1d_stats[cpu].evictions += 1
-        if not victim.dirty:
+        if victim & 3 != MODIFIED:
             return
         self._l1d_stats[cpu].writebacks += 1
-        victim_addr = victim.line_addr << self.l1d[cpu].line_shift
         self.l2_ports[cpu].acquire(at, self.config.l2_occupancy)
         # Inclusion guarantees the line is present; ownership is already
         # MODIFIED there (mirrored at write time).
-        self._set_l2_state(cpu, victim_addr, LineState.MODIFIED)
+        self.l2[cpu].set_state(victim >> 2, MODIFIED)
 
-    def _handle_l2_eviction(self, cpu: int, victim: CacheLine, at: int) -> None:
-        """L2 replacement: enforce inclusion, write back dirty data."""
+    def _handle_l2_eviction(self, cpu: int, victim: int, at: int) -> None:
+        """L2 replacement: enforce inclusion, write back dirty data.
+
+        ``victim`` is packed ``(line_addr << 2) | state``.
+        """
         self._l2_stats[cpu].evictions += 1
-        victim_addr = victim.line_addr << self.l2[cpu].line_shift
-        dirty = victim.dirty
-        l1_line = self.l1d[cpu].invalidate(victim_addr, coherence=False)
-        if l1_line is not None and l1_line.dirty:
+        dirty = victim & 3 == MODIFIED
+        l1_state = self.l1d[cpu].evict(victim >> 2, coherence=False)
+        if l1_state == MODIFIED:
             dirty = True
         # Instruction lines are read-only: the I-cache is exempt from
         # inclusion (no snoop will ever need its contents).

@@ -112,11 +112,10 @@ class Observation:
                 f"cpu{cid}.graduated", lambda c=cpu: c.mxs.graduated
             )
             return
-        # The busy counter batches in a plain slot between stalls; the
-        # probe folds the pending amount in so samples never lag.
+        # The busy counter batches between stalls; busy_cycles() folds
+        # the pending amount in so samples never lag.
         sampler.add_rate(
-            f"cpu{cid}.busy",
-            lambda c=cpu: c.breakdown.busy + c._busy_pending,
+            f"cpu{cid}.busy", lambda c=cpu: c.busy_cycles()
         )
         breakdown = cpu.breakdown
         for field in ("istall", "l1d", "l2", "mem", "c2c", "storebuf"):

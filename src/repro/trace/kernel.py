@@ -331,9 +331,13 @@ def replay_kernel(
     busy_pending = [0] * n_cpus
 
     access = memory.access
-    fast_ifetch = memory.fast_ifetch
-    fast_load = memory.fast_load
-    fast_store = memory.fast_store
+    # Per-CPU fast-lane closures, indexed by CPU id — the same bound
+    # lanes the CPU models hold, minus even the dispatch through the
+    # fast_* methods.
+    lanes = [memory.fast_lanes(c) for c in range(n_cpus)]
+    lane_ifetch = [lane[0] for lane in lanes]
+    lane_load = [lane[1] for lane in lanes]
+    lane_store = [lane[2] for lane in lanes]
     k_ifetch = AccessKind.IFETCH
     k_load = AccessKind.LOAD
     k_store = AccessKind.STORE
@@ -350,6 +354,14 @@ def replay_kernel(
     cycle = 0
     active = [c for c in range(n_cpus)]
 
+    # System.run: the per-rotation tick orders are precomputed so the
+    # inner loop walks a ready-made list (rebuilt when a CPU finishes).
+    n_active = len(active)
+    orders = [
+        [active[(slot + r) % n_active] for slot in range(n_active)]
+        for r in range(n_cpus)
+    ]
+
     # System.run: the loop skeleton — truncation checked at the top,
     # rotating tick order over the active list, earliest-resume
     # fast-forward. The engine queue is omitted: the memory systems
@@ -360,12 +372,9 @@ def replay_kernel(
             truncated = True
             break
 
-        n_active = len(active)
-        rotation = cycle % n_cpus
         finished = False
         earliest = huge
-        for slot in range(n_active):
-            c = active[(slot + rotation) % n_active]
+        for c in orders[cycle % n_cpus]:
             if done[c]:
                 continue
             if resume[c] <= cycle:
@@ -389,7 +398,7 @@ def replay_kernel(
                 line = pc >> line_shift
                 if line != fetch_line[c]:
                     fetch_line[c] = line
-                    if not fast or fast_ifetch(c, pc, cycle) < 0:
+                    if not fast or lane_ifetch[c](pc, cycle) < 0:
                         fetch = access(c, k_ifetch, pc, cycle)
                         fetch_done = fetch.done
                         if fetch_done - cycle > 1:
@@ -402,7 +411,7 @@ def replay_kernel(
                 kind = kind_c[i]
                 if kind == _LOAD:
                     if fast:
-                        at = fast_load(c, addr, exec_start)
+                        at = lane_load[c](addr, exec_start)
                         if at >= 0:
                             stall = at - exec_start - 1
                             if stall > 0:
@@ -414,7 +423,7 @@ def replay_kernel(
                     result = access(c, k_load, addr, exec_start)
                 elif kind == _STORE:
                     if fast:
-                        at = fast_store(c, addr, exec_start)
+                        at = lane_store[c](addr, exec_start)
                         if at >= 0:
                             stall = at - exec_start - 1
                             if stall > 0:
@@ -461,6 +470,11 @@ def replay_kernel(
             active = [c for c in active if not done[c]]
             if not active:
                 break
+            n_active = len(active)
+            orders = [
+                [active[(slot + r) % n_active] for slot in range(n_active)]
+                for r in range(n_cpus)
+            ]
 
         next_cycle = cycle + 1
         if earliest > next_cycle:

@@ -18,6 +18,10 @@ from repro.trace.format import TraceRecord, write_trace
 class TraceRecorder(MemorySystem):
     """Transparent recording proxy around a memory system."""
 
+    #: the recorder must see every reference at its own tick, in
+    #: cross-CPU issue order — no compute-run batching upstream
+    batchable = False
+
     def __init__(self, inner: MemorySystem) -> None:
         super().__init__(inner.config, inner.stats)
         self.name = inner.name
@@ -111,7 +115,10 @@ def record_run(system, path: str | Path | None = None) -> TraceRecorder:
     recorder = TraceRecorder(system.memory)
     system.memory = recorder
     for cpu in system.cpus:
-        cpu.memory = recorder
+        # Rebind (not just reassign): the CPUs hold fast-lane closures
+        # from the original memory system and must get the recorder's
+        # forwarding lanes instead.
+        cpu.bind_memory(recorder)
     system.run()
     if path is not None:
         recorder.save(path)

@@ -68,7 +68,10 @@ def test_directory_remove_holder():
 
 
 # ----------------------------------------------------------------------
-# snoopy MESI
+# snoopy MESI (the controller works in line addresses; caches are
+# filled by byte address, so tests shift by the 32-byte line size)
+
+LINE_OF = lambda addr: addr >> 5
 
 
 def make_snoop(n_cpus=4):
@@ -88,7 +91,7 @@ def fill(l1, l2, addr, state):
 def test_snoop_read_of_modified_supplies_c2c_and_downgrades():
     snoop, l1ds, l2s, _, _ = make_snoop()
     fill(l1ds[1], l2s[1], 0x100, LineState.MODIFIED)
-    assert snoop.snoop_read(0, 0x100) == "c2c"
+    assert snoop.snoop_read(0, LINE_OF(0x100)) == "c2c"
     assert l2s[1].state_of(0x100) == LineState.SHARED
     assert l1ds[1].state_of(0x100) == LineState.SHARED
 
@@ -96,7 +99,7 @@ def test_snoop_read_of_modified_supplies_c2c_and_downgrades():
 def test_snoop_read_of_clean_copies_uses_memory():
     snoop, l1ds, l2s, _, _ = make_snoop()
     fill(l1ds[1], l2s[1], 0x100, LineState.EXCLUSIVE)
-    assert snoop.snoop_read(0, 0x100) == "mem"
+    assert snoop.snoop_read(0, LINE_OF(0x100)) == "mem"
     # E downgraded to S
     assert l2s[1].state_of(0x100) == LineState.SHARED
 
@@ -105,7 +108,7 @@ def test_snoop_write_invalidates_everyone():
     snoop, l1ds, l2s, l1_stats, l2_stats = make_snoop()
     fill(l1ds[1], l2s[1], 0x100, LineState.SHARED)
     fill(l1ds[2], l2s[2], 0x100, LineState.SHARED)
-    assert snoop.snoop_write(0, 0x100) == "mem"
+    assert snoop.snoop_write(0, LINE_OF(0x100)) == "mem"
     assert not l2s[1].contains(0x100)
     assert not l1ds[2].contains(0x100)
     assert l2_stats[1].invalidations_received == 1
@@ -119,7 +122,7 @@ def l1d_inval_count(l1_stats):
 def test_snoop_write_of_modified_is_c2c():
     snoop, l1ds, l2s, _, _ = make_snoop()
     fill(l1ds[3], l2s[3], 0x100, LineState.MODIFIED)
-    assert snoop.snoop_write(0, 0x100) == "c2c"
+    assert snoop.snoop_write(0, LINE_OF(0x100)) == "c2c"
     assert not l2s[3].contains(0x100)
 
 
@@ -127,15 +130,15 @@ def test_upgrade_counts_invalidations():
     snoop, l1ds, l2s, _, _ = make_snoop()
     fill(l1ds[1], l2s[1], 0x100, LineState.SHARED)
     fill(l1ds[2], l2s[2], 0x100, LineState.SHARED)
-    assert snoop.upgrade(0, 0x100) == 2
+    assert snoop.upgrade(0, LINE_OF(0x100)) == 2
 
 
 def test_any_remote_copy():
     snoop, l1ds, l2s, _, _ = make_snoop()
-    assert not snoop.any_remote_copy(0, 0x100)
+    assert not snoop.any_remote_copy(0, LINE_OF(0x100))
     l2s[2].insert(0x100, LineState.SHARED)
-    assert snoop.any_remote_copy(0, 0x100)
-    assert not snoop.any_remote_copy(2, 0x100)  # own copy excluded
+    assert snoop.any_remote_copy(0, LINE_OF(0x100))
+    assert not snoop.any_remote_copy(2, LINE_OF(0x100))  # own copy excluded
 
 
 def test_invariants_catch_double_owner():

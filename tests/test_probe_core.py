@@ -1,0 +1,177 @@
+"""Probe-core contracts: LRU iteration order and write-buffer edges.
+
+Direct coverage for contracts the packed-array probe core leans on
+implicitly elsewhere:
+
+* the documented iteration/flush ordering of :class:`CacheArray`
+  (sets in index order, LRU within each set — the checkpoint walker
+  round-trips exactly this order);
+* write-buffer admission edge cases (the retire race at the exact
+  completion cycle, same-line stores, drain at a barrier);
+* :class:`InvalidationTracker` classification across evict/re-fill of
+  the same tag.
+"""
+
+from repro.mem.cache import CacheArray, LineState
+from repro.mem.writebuffer import WriteBuffer
+from repro.sim.stats import MissKind
+
+
+def make_cache(size=1024, assoc=2, line=32, name="c"):
+    return CacheArray(name, size, assoc, line)
+
+
+# ----------------------------------------------------------------------
+# lines()/flush() ordering contract
+
+
+def test_lines_order_is_sets_then_lru():
+    cache = make_cache(size=256, assoc=2, line=32)  # 4 sets, 2 ways
+    cache.insert(0x000)  # line 0 -> set 0
+    cache.insert(0x080)  # line 4 -> set 0
+    cache.insert(0x020)  # line 1 -> set 1
+    # Touch line 0: line 4 becomes the set's LRU entry.
+    cache.lookup(0x000)
+    order = [line.line_addr for line in cache.lines()]
+    assert order == [4, 0, 1]
+
+
+def test_probe_refresh_reorders_lines():
+    cache = make_cache(size=64, assoc=2, line=32)  # 1 set, 2 ways
+    cache.insert(0x000)
+    cache.insert(0x020)
+    assert [line.line_addr for line in cache.lines()] == [0, 1]
+    # A packed probe is an LRU touch: the probed line moves to MRU.
+    assert cache.probe(0) >= 0
+    assert [line.line_addr for line in cache.lines()] == [1, 0]
+    # probe_modify refreshes recency too (and dirties the line).
+    assert cache.probe_modify(1) >= 0
+    assert [line.line_addr for line in cache.lines()] == [0, 1]
+    assert cache.state_of(0x020) == LineState.MODIFIED
+
+
+def test_flush_returns_dirty_lines_in_lines_order():
+    cache = make_cache(size=256, assoc=2, line=32)  # 4 sets
+    cache.insert(0x040, LineState.MODIFIED)  # line 2 -> set 2
+    cache.insert(0x000, LineState.MODIFIED)  # line 0 -> set 0
+    cache.insert(0x080, LineState.MODIFIED)  # line 4 -> set 0
+    cache.insert(0x020)                      # line 1 -> set 1, clean
+    cache.lookup(0x000)  # set 0 LRU order becomes [4, 0]
+    expected = [
+        line.line_addr for line in cache.lines() if line.dirty
+    ]
+    flushed = [line.line_addr for line in cache.flush()]
+    assert flushed == expected == [4, 0, 2]
+    assert cache.resident_count() == 0
+
+
+def test_export_import_preserves_replacement_decisions():
+    original = make_cache(size=64, assoc=2, line=32)  # 1 set, 2 ways
+    original.insert(0x000)
+    original.insert(0x020)
+    original.lookup(0x000)  # line 1 is now the victim-to-be
+
+    clone = make_cache(size=64, assoc=2, line=32)
+    clone.import_sets(original.export_sets())
+
+    victim_a = original.insert(0x040)
+    victim_b = clone.insert(0x040)
+    assert victim_a is not None and victim_b is not None
+    assert victim_a.line_addr == victim_b.line_addr == 1
+
+
+# ----------------------------------------------------------------------
+# write-buffer admission edges
+
+
+def test_admit_retire_race_at_exact_completion_cycle():
+    # The oldest entry completes exactly at the admit cycle: the slot
+    # is free at that cycle, so the store enters without a stall.
+    buffer = WriteBuffer(depth=1)
+    buffer.admit(0)
+    buffer.push(5)
+    start, stalled = buffer.admit(5)
+    assert start == 5 and not stalled
+    assert buffer.full_stalls == 0
+
+
+def test_admit_one_cycle_before_completion_stalls():
+    buffer = WriteBuffer(depth=1)
+    buffer.admit(0)
+    buffer.push(5)
+    start, stalled = buffer.admit(4)
+    assert stalled and start == 5
+    assert buffer.full_stalls == 1
+
+
+def test_same_line_stores_are_not_coalesced():
+    # The model performs no write-merging: back-to-back stores to the
+    # same line each take a slot and drain in order (the paper's
+    # write-through port-contention accounting depends on every store
+    # reaching the next level).
+    buffer = WriteBuffer(depth=2)
+    assert buffer.push(10) == 10
+    assert buffer.push(12) == 12
+    assert buffer.occupancy == 2
+    assert buffer.stores == 2
+    start, stalled = buffer.admit(0)  # full until the oldest drains
+    assert stalled and start == 10
+
+
+def test_drain_at_barrier_retires_everything():
+    buffer = WriteBuffer(depth=4)
+    buffer.push(30)
+    buffer.push(90)
+    barrier_at = buffer.drain_time(10)
+    assert barrier_at == 90
+    # After the drain point every slot is free again: a burst of
+    # depth-many stores admits without a single stall.
+    for offset in range(buffer.depth):
+        start, stalled = buffer.admit(barrier_at + offset)
+        assert not stalled
+        buffer.push(barrier_at + offset + 50)
+    assert buffer.occupancy == buffer.depth
+
+
+# ----------------------------------------------------------------------
+# invalidation classification across evict/re-fill
+
+
+def test_refill_resets_invalidation_classification():
+    cache = make_cache()
+    cache.insert(0x100)
+    cache.invalidate(0x100)  # coherence action
+    assert cache.classify_miss(0x100) == MissKind.MISS_INVALIDATION
+    # Refetch the line: the tracker forgets the old invalidation, so a
+    # later non-coherence eviction classifies as replacement again.
+    cache.insert(0x100)
+    cache.invalidate(0x100, coherence=False)
+    assert cache.classify_miss(0x100) == MissKind.MISS_REPLACEMENT
+
+
+def test_second_invalidation_of_same_tag_counts_again():
+    cache = make_cache()
+    line_addr = 0x100 >> cache.line_shift
+    for _ in range(2):
+        cache.fill(line_addr, LineState.SHARED)
+        assert cache.evict(line_addr, coherence=True) >= 0
+        assert cache.classify_line(line_addr) == MissKind.MISS_INVALIDATION
+        # fill() notes the refetch; the stale entry must not linger.
+        cache.fill(line_addr, LineState.SHARED)
+        assert line_addr not in cache.tracker
+        assert cache.evict(line_addr, coherence=False) >= 0
+        assert cache.classify_line(line_addr) == MissKind.MISS_REPLACEMENT
+
+
+def test_capacity_eviction_of_previously_invalidated_line():
+    # Line invalidated by coherence, refetched, then pushed out by
+    # capacity pressure: the capacity eviction must classify as a
+    # replacement miss even though the tag was once invalidated.
+    cache = make_cache(size=64, assoc=2, line=32)  # 1 set, 2 ways
+    cache.insert(0x000)
+    cache.invalidate(0x000)
+    cache.insert(0x000)
+    cache.insert(0x020)
+    cache.insert(0x040)  # evicts 0x000 (LRU) by capacity
+    assert not cache.contains(0x000)
+    assert cache.classify_miss(0x000) == MissKind.MISS_REPLACEMENT
