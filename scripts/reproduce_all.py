@@ -35,6 +35,15 @@ up where it stopped. ``--checkpoint-every N --ckpt-dir PATH``
 additionally snapshots each *in-flight* simulation every N cycles, so
 a retried or resumed job restarts mid-run instead of from cycle 0.
 ``--timeout S`` bounds each job's wall-clock time.
+
+``--telemetry`` turns on the batch event bus (see
+docs/OBSERVABILITY.md, "Batch telemetry"): every worker streams
+job/cache/store lifecycle events to the parent, which writes
+``batch_events.jsonl`` and a per-worker Perfetto span trace
+``batch_trace.json`` into ``--telemetry-dir`` (default: the results
+directory), records the rollup in the manifest and
+``bench_runner.json``, and — with ``--live`` — repaints a progress
+line (per-worker state, jobs done/total, cache hit rate, ETA).
 """
 
 from __future__ import annotations
@@ -224,6 +233,12 @@ def append_baseline(
         # hot-path regressions attributable to a specific simulation.
         "per_job": run_report.to_dict()["per_job"],
     }
+    if run_report.cache_stats is not None:
+        # ResultCache counter rollup (hits/misses/stores/evictions and
+        # bytes moved) for the trajectory record.
+        entry["result_cache"] = run_report.cache_stats
+    if run_report.telemetry is not None:
+        entry["telemetry"] = run_report.telemetry
     try:
         history = json.loads(BASELINE.read_text())
         if not isinstance(history, list):
@@ -294,9 +309,29 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         "--timeout", type=float, default=0.0, metavar="SECONDS",
         help="per-job wall-clock budget (0 = unlimited)",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="stream batch telemetry over the event bus: writes "
+             "batch_events.jsonl + batch_trace.json (Perfetto, one "
+             "track per worker) and records rollups in the manifest "
+             "and bench_runner.json",
+    )
+    parser.add_argument(
+        "--telemetry-dir", metavar="PATH", default=None,
+        help="where the telemetry artifacts go (default: the results "
+             "directory; implies --telemetry)",
+    )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="live progress view fed by the event bus (implies "
+             "--telemetry): per-worker state, done/total, cache hit "
+             "rate, ETA",
+    )
     args = parser.parse_args(argv)
     if args.checkpoint_every and not args.ckpt_dir:
         parser.error("--checkpoint-every requires --ckpt-dir")
+    if args.telemetry_dir or args.live:
+        args.telemetry = True
     return args
 
 
@@ -326,16 +361,54 @@ def main(argv: list[str] | None = None) -> int:
     if args.resume and len(manifest):
         print(f"resuming: {len(manifest)} job(s) already in "
               f"{manifest_path}")
+
+    bus = live = None
+    telemetry_dir = (
+        Path(args.telemetry_dir) if args.telemetry_dir else RESULTS
+    )
+    if args.telemetry:
+        from repro.obs import EventBus, LiveView
+
+        if args.live:
+            live = LiveView(total=len(batch))
+        bus = EventBus(
+            log_path=telemetry_dir / "batch_events.jsonl",
+            on_event=live.on_event if live is not None else None,
+        ).start()
+
     runner = Runner(
         jobs=args.jobs,
         cache=None if args.no_cache else ResultCache(args.cache_dir),
-        progress=lambda line: print(f"  {line}", flush=True),
+        progress=(
+            None if live is not None
+            else lambda line: print(f"  {line}", flush=True)
+        ),
         manifest=manifest,
+        bus=bus,
     )
     print(f"Running {len(batch)} simulations "
           f"({len(specs)} figures x {len(ARCHITECTURES)} architectures) "
           f"on {runner.n_jobs} worker(s)...")
-    run_report = runner.run(batch)
+    try:
+        run_report = runner.run(batch)
+    finally:
+        if bus is not None:
+            bus.stop()
+            if live is not None:
+                live.finish()
+    if bus is not None:
+        from repro.obs import rollup_events, write_batch_trace
+
+        trace_path = telemetry_dir / "batch_trace.json"
+        write_batch_trace(bus.events, trace_path, label="reproduce_all")
+        telemetry = dict(bus.rollup())
+        telemetry["rollup"] = rollup_events(bus.events)
+        telemetry["trace_path"] = str(trace_path)
+        run_report.telemetry = telemetry
+        manifest.record_telemetry(telemetry)
+        print(f"telemetry: {bus.log_path} + {trace_path} "
+              f"({telemetry['events']} events, "
+              f"{telemetry['workers']} worker(s))")
     print("Rendering figures...")
     timings = render_reports(specs, run_report.outcomes)
     build_index([name for name, *_ in specs])

@@ -30,6 +30,8 @@ import re
 from pathlib import Path
 
 from repro.errors import CheckpointError
+from repro.obs import bus as obs_bus
+from repro.obs.registry import Registry
 
 _DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
 _KEY_SANITIZE_RE = re.compile(r"[^A-Za-z0-9._=-]+")
@@ -46,10 +48,34 @@ def sanitize_key(key: str) -> str:
 
 
 class CheckpointStore:
-    """Directory of content-addressed checkpoint blobs."""
+    """Directory of content-addressed checkpoint blobs.
+
+    Each instance counts its traffic (``saves``/``loads``/``dedups``
+    plus bytes in both directions) in a
+    :class:`~repro.obs.registry.Registry`; when a batch telemetry bus
+    is current in the process, saves and loads also land on it as
+    ``ckpt.save``/``ckpt.load`` events — including from pool workers,
+    where periodic mid-run checkpoints actually happen.
+    """
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
+        self.metrics = Registry()
+
+    @property
+    def saves(self) -> int:
+        return self.metrics.counter("saves").value
+
+    @property
+    def loads(self) -> int:
+        return self.metrics.counter("loads").value
+
+    def stats(self) -> dict:
+        """Counter snapshot for reports and rollups."""
+        return {
+            name: counter.value
+            for name, counter in sorted(self.metrics.counters.items())
+        }
 
     # ------------------------------------------------------------------
     # blobs
@@ -68,7 +94,8 @@ class CheckpointStore:
         raw = _canonical_bytes(state)
         digest = hashlib.sha256(raw).hexdigest()
         path = self._blob_path(digest)
-        if not path.exists():
+        deduped = path.exists()
+        if not deduped:
             path.parent.mkdir(parents=True, exist_ok=True)
             buffer = io.BytesIO()
             # mtime=0 keeps the compressed bytes deterministic too.
@@ -77,6 +104,13 @@ class CheckpointStore:
             tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
             tmp.write_bytes(buffer.getvalue())
             os.replace(tmp, path)
+            self.metrics.counter("bytes_written").inc(len(raw))
+        self.metrics.counter("saves").inc()
+        if deduped:
+            self.metrics.counter("dedups").inc()
+        obs_bus.emit(
+            "ckpt.save", digest=digest, bytes=len(raw), deduped=deduped
+        )
         if key is not None:
             self._write_latest(key, digest, state)
         return digest
@@ -100,6 +134,9 @@ class CheckpointStore:
                 f"checkpoint blob {digest} fails its content hash "
                 f"(got {actual}); the file is corrupt"
             )
+        self.metrics.counter("loads").inc()
+        self.metrics.counter("bytes_read").inc(len(raw))
+        obs_bus.emit("ckpt.load", digest=digest, bytes=len(raw))
         return json.loads(raw)
 
     def inspect(self, digest: str) -> dict:

@@ -46,8 +46,22 @@ as Chrome/Perfetto trace JSON.
         Run one observed simulation and print the per-phase
         utilization summary.
 
+    python -m repro obs report --batch results/batch_events.jsonl
+        Summarize a batch telemetry log (jobs by status, cache and
+        store traffic, retries, workers) instead of running anything.
+
     python -m repro obs validate trace.json
         Check a recorded event file against the trace-format rules.
+        Accepts both Chrome/Perfetto traces (single-run timelines and
+        batch span traces) and batch JSONL event logs — the format is
+        sniffed from the file.
+
+    python -m repro obs tail results/batch_events.jsonl [--follow]
+        Print a batch's JSONL event log as human-readable lines;
+        ``--follow`` keeps watching until the batch ends.
+
+    python -m repro obs export results/batch_events.jsonl --format prom
+        Render batch telemetry in Prometheus text exposition format.
 
     python -m repro ckpt save --workload eqntott --arch shared-l1 \
             --at 100000 --dir ckpts/
@@ -98,9 +112,12 @@ from repro.workloads import WORKLOADS
 _SCALES = ("test", "bench", "paper")
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
+def _add_common(
+    parser: argparse.ArgumentParser, workload_required: bool = True
+) -> None:
     parser.add_argument(
-        "--workload", "-w", required=True, choices=sorted(WORKLOADS),
+        "--workload", "-w", required=workload_required,
+        choices=sorted(WORKLOADS),
         help="which of the paper's workloads to run",
     )
     parser.add_argument(
@@ -352,16 +369,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     obs_p = sub.add_parser(
-        "obs", help="observability: phase reports and trace validation"
+        "obs", help="observability: phase reports, batch telemetry, "
+                    "trace validation",
     )
     obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
     report_p = obs_sub.add_parser(
         "report",
-        help="run one observed simulation and print per-phase utilization",
+        help="run one observed simulation and print per-phase "
+             "utilization, or summarize a batch event log (--batch)",
     )
-    _add_common(report_p)
+    _add_common(report_p, workload_required=False)
     report_p.add_argument(
-        "--arch", "-a", "--topology", required=True,
+        "--arch", "-a", "--topology", default=None,
         choices=topology_names(),
         help="memory-system topology preset (--topology is an alias)",
     )
@@ -382,10 +401,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--events", metavar="PATH", default=None,
         help="also record the event timeline to PATH",
     )
-    validate_p = obs_sub.add_parser(
-        "validate", help="check an event file against the trace rules"
+    report_p.add_argument(
+        "--batch", metavar="EVENTS", default=None,
+        help="summarize this batch JSONL event log instead of running "
+             "an observed simulation",
     )
-    validate_p.add_argument("path", help="trace JSON file to validate")
+    validate_p = obs_sub.add_parser(
+        "validate",
+        help="check a trace (single-run or batch Perfetto JSON) or a "
+             "batch JSONL event log against its schema",
+    )
+    validate_p.add_argument(
+        "path", help="trace JSON or JSONL event log to validate"
+    )
+    tail_p = obs_sub.add_parser(
+        "tail", help="print a batch JSONL event log as readable lines"
+    )
+    tail_p.add_argument("path", help="batch JSONL event log")
+    tail_p.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep watching for new events until the batch ends",
+    )
+    tail_p.add_argument(
+        "--lines", "-N", type=int, default=0, metavar="N",
+        help="only the last N events (default: all)",
+    )
+    export_p = obs_sub.add_parser(
+        "export", help="export batch telemetry rollups"
+    )
+    export_p.add_argument("path", help="batch JSONL event log")
+    export_p.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="prom = Prometheus text exposition (default), "
+             "json = rollup object",
+    )
+    export_p.add_argument(
+        "--prefix", default="repro", metavar="NAME",
+        help="metric name prefix for --format prom (default: repro)",
+    )
 
     trace_p = sub.add_parser(
         "trace", help="dump a workload's instruction stream (no simulation)"
@@ -707,17 +760,24 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    from repro.obs import format_phase_table, format_rollup, validate_trace
+    from repro.obs import format_phase_table, format_rollup
     from repro.obs.report import run_observed
 
     if args.obs_command == "validate":
-        errors = validate_trace(args.path)
-        if errors:
-            for error in errors:
-                print(f"invalid: {error}", file=sys.stderr)
-            return 1
-        print(f"{args.path}: valid trace")
-        return 0
+        return _cmd_obs_validate(args.path)
+    if args.obs_command == "tail":
+        return _cmd_obs_tail(args)
+    if args.obs_command == "export":
+        return _cmd_obs_export(args)
+    if args.batch is not None:
+        return _cmd_obs_batch_report(args.batch)
+    if args.workload is None or args.arch is None:
+        print(
+            "error: obs report needs --workload and --arch "
+            "(or --batch EVENTS for a batch summary)",
+            file=sys.stderr,
+        )
+        return 2
 
     try:
         system, stats = run_observed(
@@ -743,6 +803,161 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     print(format_rollup(obs.rollup()))
     if args.events is not None:
         print(f"events written to {args.events}")
+    return 0
+
+
+def _sniff_event_log(path: str) -> bool:
+    """``True`` when ``path`` looks like a JSONL event log rather than
+    a Chrome trace (one bus event object per line vs. a single object
+    with ``traceEvents``)."""
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline()
+    except OSError:
+        return False
+    try:
+        record = json.loads(first)
+    except ValueError:
+        return False
+    return isinstance(record, dict) and "kind" in record
+
+
+def _cmd_obs_validate(path: str) -> int:
+    from repro.obs import validate_events, validate_trace
+
+    if _sniff_event_log(path):
+        errors = validate_events(path)
+        label = "event log"
+    else:
+        errors = validate_trace(path)
+        label = "trace"
+    if errors:
+        for error in errors:
+            print(f"invalid: {error}", file=sys.stderr)
+        return 1
+    print(f"{path}: valid {label}")
+    return 0
+
+
+def _format_event_line(event, t0: float) -> str:
+    fields = " ".join(
+        f"{key}={value}" for key, value in sorted(event.fields.items())
+    )
+    line = (
+        f"#{event.seq or 0:<5} +{event.ts - t0:8.3f}s "
+        f"pid {event.pid:<7} {event.kind:<16}"
+    )
+    return f"{line} {fields}".rstrip()
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    import time as time_mod
+
+    from repro.obs import read_events
+
+    try:
+        events = read_events(args.path)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    t0 = events[0].ts if events else 0.0
+    shown = events[-args.lines:] if args.lines > 0 else events
+    for event in shown:
+        print(_format_event_line(event, t0))
+    if not args.follow:
+        return 0
+    seen = len(events)
+    ended = any(event.kind == "batch.end" for event in events)
+    while not ended:
+        time_mod.sleep(0.2)
+        try:
+            events = read_events(args.path)
+        except OSError:
+            break
+        if not events:
+            continue
+        if t0 == 0.0:
+            t0 = events[0].ts
+        for event in events[seen:]:
+            print(_format_event_line(event, t0), flush=True)
+            if event.kind == "batch.end":
+                ended = True
+        seen = len(events)
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import prometheus_text, read_events, rollup_events
+
+    try:
+        rollup = rollup_events(read_events(args.path))
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(rollup, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(prometheus_text(rollup, prefix=args.prefix))
+    return 0
+
+
+def _cmd_obs_batch_report(path: str) -> int:
+    from repro.obs import read_events, rollup_events
+
+    try:
+        events = read_events(path)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"{path}: no events")
+        return 1
+    rollup = rollup_events(events)
+    print(f"batch report: {path}")
+    print(
+        f"  {len(events)} event(s) across {rollup['workers']} "
+        f"worker(s), {rollup['batch_wall_seconds']:.2f}s wall"
+    )
+    jobs = rollup["jobs"]
+    if jobs:
+        total = sum(jobs.values())
+        mix = ", ".join(
+            f"{count} {status}" for status, count in jobs.items()
+        )
+        print(f"  jobs: {total} finished ({mix})")
+    if rollup["job_wall_seconds_count"]:
+        mean = (
+            rollup["job_wall_seconds_sum"]
+            / rollup["job_wall_seconds_count"]
+        )
+        print(
+            f"  job wall: {rollup['job_wall_seconds_sum']:.2f}s total, "
+            f"{mean:.2f}s mean over "
+            f"{rollup['job_wall_seconds_count']} run(s)"
+        )
+    cache = rollup["cache_ops"]
+    if cache:
+        ops = ", ".join(f"{count} {op}" for op, count in cache.items())
+        hits = cache.get("hit", 0)
+        probes = hits + cache.get("miss", 0)
+        rate = f" ({100.0 * hits / probes:.0f}% hit)" if probes else ""
+        print(f"  result cache: {ops}{rate}")
+    stores = rollup["store_ops"]
+    if stores:
+        ops = ", ".join(
+            f"{count} {label}" for label, count in stores.items()
+        )
+        print(f"  stores: {ops}")
+    if rollup["retries"] or rollup["pool_rebuilds"]:
+        print(
+            f"  faults: {rollup['retries']} retry(ies), "
+            f"{rollup['worker_deaths']} worker death(s), "
+            f"{rollup['pool_rebuilds']} pool rebuild(s)"
+        )
     return 0
 
 

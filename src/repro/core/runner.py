@@ -50,6 +50,8 @@ from repro.core.experiment import (
     run_one,
 )
 from repro.errors import ConfigError, JobTimeoutError
+from repro.obs import bus as obs_bus
+from repro.obs.registry import Registry
 
 
 def default_jobs() -> int:
@@ -291,9 +293,59 @@ def register_workload(name: str, factory: WorkloadFactory) -> None:
     _EXTRA_WORKLOADS[name] = factory
 
 
-def _execute_job(job: Job) -> ExperimentResult:
-    """Module-level trampoline so the pool can pickle the call."""
-    return _run_with_timeout(job)
+#: pids that have announced themselves on the bus (one spawn event per
+#: worker process lifetime, however many jobs it executes)
+_ANNOUNCED_PIDS: set[int] = set()
+
+
+def _execute_job(
+    job: Job,
+    handle: "obs_bus.BusHandle | None" = None,
+    attempt: int = 1,
+) -> ExperimentResult:
+    """Module-level trampoline so the pool can pickle the call.
+
+    With a bus ``handle`` (a picklable manager-queue proxy), the worker
+    installs it as the process-current emitter — so store-level hooks
+    (checkpoint saves, trace records) flow without plumbing — announces
+    itself on first use, and brackets the execution in
+    ``job.start``/``job.finish`` (or ``job.timeout``/``job.fail``)
+    events. Emission is a synchronous RPC into the manager process, so
+    everything emitted before a SIGKILL survives the worker.
+    """
+    if handle is None:
+        return _run_with_timeout(job)
+    obs_bus.set_current(handle)
+    pid = os.getpid()
+    if pid != handle.parent_pid and pid not in _ANNOUNCED_PIDS:
+        _ANNOUNCED_PIDS.add(pid)
+        handle.emit("worker.spawn")
+    label = job.label()
+    handle.emit("job.start", job=label, attempt=attempt)
+    started = time.perf_counter()
+    try:
+        result = _run_with_timeout(job)
+    except JobTimeoutError as error:
+        handle.emit(
+            "job.timeout", job=label, attempt=attempt, error=str(error)
+        )
+        raise
+    except Exception as error:
+        handle.emit(
+            "job.fail",
+            job=label,
+            attempt=attempt,
+            error=f"{type(error).__name__}: {error}",
+        )
+        raise
+    handle.emit(
+        "job.finish",
+        job=label,
+        attempt=attempt,
+        wall_seconds=time.perf_counter() - started,
+        cycles=result.stats.cycles,
+    )
+    return result
 
 
 def _run_with_timeout(job: Job) -> ExperimentResult:
@@ -365,10 +417,41 @@ class ResultCache:
     are written atomically (tmp + rename) so concurrent runners sharing
     a cache directory never observe torn files; corrupt or unreadable
     entries are treated as misses and dropped.
+
+    Every instance counts its own traffic in a
+    :class:`~repro.obs.registry.Registry` (``hits``/``misses``/
+    ``stores``/``evictions`` plus bytes moved), with or without a bus;
+    when a batch bus is current, each operation also lands on it as a
+    ``cache.*`` event. The counters feed :meth:`Runner.summary` and
+    ``RunReport.to_dict()["result_cache"]``.
     """
 
     def __init__(self, root: str | Path | None = None) -> None:
         self.root = Path(root).expanduser() if root else default_cache_dir()
+        self.metrics = Registry()
+
+    @property
+    def hits(self) -> int:
+        return self.metrics.counter("hits").value
+
+    @property
+    def misses(self) -> int:
+        return self.metrics.counter("misses").value
+
+    @property
+    def stores(self) -> int:
+        return self.metrics.counter("stores").value
+
+    @property
+    def evictions(self) -> int:
+        return self.metrics.counter("evictions").value
+
+    def stats(self) -> dict:
+        """Counter snapshot for reports and ``bench_runner.json``."""
+        return {
+            name: counter.value
+            for name, counter in sorted(self.metrics.counters.items())
+        }
 
     def path_for(self, job: Job) -> Path:
         """Where ``job``'s result lives (whether or not it exists)."""
@@ -379,13 +462,22 @@ class ResultCache:
         """The cached result for ``job``, or ``None`` on a miss."""
         path = self.path_for(job)
         try:
-            payload = json.loads(path.read_text())
-            return ExperimentResult.from_dict(payload["result"])
+            text = path.read_text()
+            payload = json.loads(text)
+            result = ExperimentResult.from_dict(payload["result"])
         except FileNotFoundError:
+            self.metrics.counter("misses").inc()
+            obs_bus.emit("cache.miss", key=path.stem)
             return None
         except (OSError, ValueError, KeyError, TypeError):
-            self._drop(path)
+            self._evict(path)
+            self.metrics.counter("misses").inc()
+            obs_bus.emit("cache.miss", key=path.stem, corrupt=True)
             return None
+        self.metrics.counter("hits").inc()
+        self.metrics.counter("bytes_read").inc(len(text))
+        obs_bus.emit("cache.hit", key=path.stem, bytes=len(text))
+        return result
 
     def put(self, job: Job, result: ExperimentResult) -> None:
         """Store ``result`` under ``job``'s content address."""
@@ -397,9 +489,19 @@ class ResultCache:
             "version": repro.__version__,
             "result": result.to_dict(),
         }
+        text = json.dumps(payload, sort_keys=True)
         tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
-        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.write_text(text)
         tmp.replace(path)
+        self.metrics.counter("stores").inc()
+        self.metrics.counter("bytes_written").inc(len(text))
+        obs_bus.emit("cache.store", key=path.stem, bytes=len(text))
+
+    def _evict(self, path: Path) -> None:
+        """Drop a corrupt entry (counted, unlike a plain miss)."""
+        self.metrics.counter("evictions").inc()
+        obs_bus.emit("cache.evict", key=path.stem)
+        self._drop(path)
 
     @staticmethod
     def _drop(path: Path) -> None:
@@ -451,6 +553,12 @@ class RunReport:
     cache_hits: int = 0
     cache_misses: int = 0
     worker_crashes: int = 0
+    #: ResultCache counter snapshot (hits/misses/stores/evictions/bytes)
+    #: when the batch ran with a cache attached
+    cache_stats: dict | None = None
+    #: event-bus rollup (event counts by kind, worker count, log path)
+    #: when the batch ran with telemetry on
+    telemetry: dict | None = None
 
     @property
     def results(self) -> list[ExperimentResult]:
@@ -529,7 +637,7 @@ class RunReport:
                     "utilization": obs.get("utilization", {}),
                 }
             per_job.append(entry)
-        return {
+        out = {
             "jobs": len(self.outcomes),
             "workers": self.workers,
             "total_wall": self.total_wall,
@@ -541,6 +649,11 @@ class RunReport:
             "worker_crashes": self.worker_crashes,
             "per_job": per_job,
         }
+        if self.cache_stats is not None:
+            out["result_cache"] = dict(self.cache_stats)
+        if self.telemetry is not None:
+            out["telemetry"] = dict(self.telemetry)
+        return out
 
 
 class BatchManifest:
@@ -558,11 +671,15 @@ class BatchManifest:
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._entries: dict[str, dict] = {}
+        self.telemetry: dict | None = None
         try:
             payload = json.loads(self.path.read_text())
             entries = payload.get("jobs", {})
             if isinstance(entries, dict):
                 self._entries = entries
+            telemetry = payload.get("telemetry")
+            if isinstance(telemetry, dict):
+                self.telemetry = telemetry
         except FileNotFoundError:
             pass
         except (OSError, ValueError):
@@ -589,8 +706,18 @@ class BatchManifest:
             "label": job.label(),
             "result": result.to_dict(),
         }
+        self._write()
+
+    def record_telemetry(self, rollup: dict) -> None:
+        """Persist the batch's telemetry rollup alongside its jobs."""
+        self.telemetry = rollup
+        self._write()
+
+    def _write(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"version": repro.__version__, "jobs": self._entries}
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
         tmp = self.path.parent / f".{self.path.name}.{os.getpid()}.tmp"
         tmp.write_text(json.dumps(payload, sort_keys=True))
         os.replace(tmp, self.path)
@@ -628,6 +755,13 @@ class Runner:
     exceptions from a parallel run are recorded as failures, while the
     serial path re-raises them (debugging-friendly, and the historical
     contract).
+
+    ``bus`` is an optional started :class:`~repro.obs.bus.EventBus`:
+    with one attached, the batch emits the full fleet event stream
+    (job/worker/pool lifecycle from the runner and its workers,
+    ``cache.*``/``ckpt.*``/``trace.*`` from the instrumented stores)
+    and the report carries the bus rollup. Without one — the default —
+    not a single event object is constructed.
     """
 
     def __init__(
@@ -637,6 +771,7 @@ class Runner:
         progress: Callable[[str], None] | None = None,
         manifest: BatchManifest | None = None,
         max_retries: int = 2,
+        bus: "obs_bus.EventBus | None" = None,
     ) -> None:
         requested = default_jobs() if jobs is None else jobs
         if requested < 1:
@@ -648,15 +783,57 @@ class Runner:
         self.progress = progress
         self.manifest = manifest
         self.max_retries = max_retries
+        self.bus = bus
         self.last_report: RunReport | None = None
 
     def _tick(self, message: str) -> None:
         if self.progress is not None:
             self.progress(message)
 
+    def summary(self) -> str:
+        """One-line account of the last batch, with cache counters."""
+        if self.last_report is None:
+            return "no batch has run"
+        text = self.last_report.summary()
+        if self.cache is not None:
+            text += (
+                f"; result cache: {self.cache.hits} hit(s), "
+                f"{self.cache.misses} miss(es), "
+                f"{self.cache.stores} store(s)"
+            )
+        return text
+
     def run(self, batch: Sequence[Job]) -> RunReport:
         """Execute ``batch``; returns outcomes in submission order."""
         batch = list(batch)
+        handle = self.bus.handle() if self.bus is not None else None
+        previous_handle = None
+        if handle is not None:
+            # Current-handle for the parent process: store hooks that
+            # fire here (cache pre-pass gets, cache puts on completion)
+            # reach the bus without explicit plumbing.
+            previous_handle = obs_bus.set_current(handle)
+            handle.emit("batch.start", jobs=len(batch))
+        report: RunReport | None = None
+        try:
+            report = self._run_batch(batch, handle)
+        finally:
+            if handle is not None:
+                fields = {"jobs": len(batch)}
+                if report is not None:
+                    fields["failures"] = len(report.failures)
+                handle.emit("batch.end", **fields)
+                self.bus.flush()
+                obs_bus.set_current(previous_handle)
+        if self.bus is not None:
+            report.telemetry = self.bus.rollup()
+        return report
+
+    def _run_batch(
+        self,
+        batch: list[Job],
+        handle: "obs_bus.BusHandle | None",
+    ) -> RunReport:
         started = time.perf_counter()
         outcomes: list[JobOutcome | None] = [None] * len(batch)
 
@@ -667,6 +844,10 @@ class Runner:
             if done is not None:
                 hits += 1
                 outcomes[index] = JobOutcome(job, done, cached=True)
+                if handle is not None:
+                    handle.emit(
+                        "job.cached", job=job.label(), source="manifest"
+                    )
                 self._tick(f"[manifest] {job.label()}")
                 continue
             cached = self.cache.get(job) if self.cache else None
@@ -675,6 +856,10 @@ class Runner:
                 outcomes[index] = JobOutcome(job, cached, cached=True)
                 if self.manifest is not None:
                     self.manifest.record(job, cached)
+                if handle is not None:
+                    handle.emit(
+                        "job.cached", job=job.label(), source="cache"
+                    )
                 self._tick(f"[cache] {job.label()}")
             else:
                 pending.append((index, job))
@@ -684,7 +869,7 @@ class Runner:
         if workers <= 1:
             for index, job in pending:
                 try:
-                    result = _run_with_timeout(job)
+                    result = _execute_job(job, handle)
                 except JobTimeoutError as error:
                     outcomes[index] = self._fail(
                         job, str(error), timed_out=True
@@ -692,7 +877,7 @@ class Runner:
                 else:
                     outcomes[index] = self._finish(index, job, result)
         else:
-            crashes = self._run_pool(pending, workers, outcomes)
+            crashes = self._run_pool(pending, workers, outcomes, handle)
 
         report = RunReport(
             outcomes=[outcome for outcome in outcomes if outcome is not None],
@@ -701,6 +886,7 @@ class Runner:
             cache_hits=hits,
             cache_misses=len(pending) if self.cache else 0,
             worker_crashes=crashes,
+            cache_stats=self.cache.stats() if self.cache else None,
         )
         self.last_report = report
         return report
@@ -710,13 +896,18 @@ class Runner:
         pending: list[tuple[int, Job]],
         workers: int,
         outcomes: list[JobOutcome | None],
+        handle: "obs_bus.BusHandle | None" = None,
     ) -> int:
         """Parallel execution with crash recovery; returns crash count.
 
         Each pass runs the queue over a fresh pool. A broken pool
         (worker killed) fails every unfinished future with
         ``BrokenProcessPool``; those jobs are requeued for the next
-        pass until their retry budget runs out.
+        pass until their retry budget runs out. With a bus attached,
+        the queue is drained (:meth:`~repro.obs.bus.EventBus.flush`)
+        before the rebuild is recorded, so every event the dead pool's
+        workers managed to emit is already in the log when the
+        ``pool.rebuild`` marker lands.
         """
         queue = list(pending)
         attempts = {index: 0 for index, _ in pending}
@@ -726,7 +917,9 @@ class Runner:
             pool_broke = False
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(_execute_job, job): (index, job)
+                    pool.submit(
+                        _execute_job, job, handle, attempts[index] + 1
+                    ): (index, job)
                     for index, job in queue
                 }
                 for future in as_completed(futures):
@@ -737,6 +930,12 @@ class Runner:
                     except BrokenProcessPool:
                         pool_broke = True
                         if attempts[index] > self.max_retries:
+                            if handle is not None:
+                                handle.emit(
+                                    "job.quarantined",
+                                    job=job.label(),
+                                    attempts=attempts[index],
+                                )
                             outcomes[index] = self._fail(
                                 job,
                                 f"quarantined after {attempts[index]} "
@@ -744,6 +943,12 @@ class Runner:
                                 attempts=attempts[index],
                             )
                         else:
+                            if handle is not None:
+                                handle.emit(
+                                    "job.retry",
+                                    job=job.label(),
+                                    attempt=attempts[index],
+                                )
                             self._tick(f"[retry] {job.label()}")
                             requeue.append((index, job))
                     except JobTimeoutError as error:
@@ -768,6 +973,13 @@ class Runner:
                         )
             if pool_broke:
                 crashes += 1
+                if self.bus is not None:
+                    # Drain everything the dead pool's workers emitted
+                    # before marking the rebuild in the stream.
+                    self.bus.flush()
+                if handle is not None:
+                    handle.emit("worker.death", crashes=crashes)
+                    handle.emit("pool.rebuild", requeued=len(requeue))
             queue = requeue
         return crashes
 
@@ -816,8 +1028,13 @@ def run_jobs(
     cache: ResultCache | None = None,
     progress: Callable[[str], None] | None = None,
     manifest: BatchManifest | None = None,
+    bus: "obs_bus.EventBus | None" = None,
 ) -> RunReport:
     """One-shot convenience wrapper around :class:`Runner`."""
     return Runner(
-        jobs=jobs, cache=cache, progress=progress, manifest=manifest
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        manifest=manifest,
+        bus=bus,
     ).run(batch)

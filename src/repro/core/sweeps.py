@@ -31,6 +31,9 @@ class SweepResult:
     values: list = field(default_factory=list)
     #: value -> {arch -> ExperimentResult}
     runs: dict = field(default_factory=dict)
+    #: batch telemetry of the run that produced this sweep
+    #: (:meth:`repro.core.runner.RunReport.to_dict` sans per-job list)
+    run_report: dict | None = None
 
     def cycles(self, value, arch: str) -> int:
         """Cycle count for one (value, architecture) point."""
@@ -60,7 +63,7 @@ class SweepResult:
 
     def to_dict(self) -> dict:
         """JSON-serializable summary of the sweep."""
-        return {
+        out = {
             "field": self.field,
             "values": list(self.values),
             "cycles": {
@@ -71,6 +74,9 @@ class SweepResult:
                 for value in self.values
             },
         }
+        if self.run_report is not None:
+            out["run_report"] = dict(self.run_report)
+        return out
 
 
 def sweep_mem_field(
@@ -117,12 +123,18 @@ def sweep_mem_field(
                 trace_dir=trace_dir,
             ))
     active = runner if runner is not None else Runner(jobs=jobs)
-    outcomes = iter(active.run(batch).outcomes)
+    report = active.run(batch)
+    outcomes = iter(report.outcomes)
     result = SweepResult(field=sweep_field, values=list(values))
     for value in values:
         result.runs[value] = {
             arch: next(outcomes).result for arch in archs
         }
+    # Batch-level telemetry rides along (cache/bus rollups included),
+    # minus the per-job list the sweep table already encodes.
+    summary = report.to_dict()
+    summary.pop("per_job", None)
+    result.run_report = summary
     return result
 
 

@@ -12,19 +12,45 @@ The subsystem has three collectors behind one switch
 * an **event timeline** exported as Chrome/Perfetto trace JSON with
   one track per CPU/bank/bus — :mod:`repro.obs.timeline`.
 
+Above the single-System scope sits the **batch telemetry layer**:
+
+* a process-safe **event bus** (:mod:`repro.obs.bus`) — workers emit
+  structured JSONL events over a manager queue to a collector in the
+  parent;
+* a **span model** (:mod:`repro.obs.spans`) folding the event stream
+  into a per-batch Chrome/Perfetto trace with one track per worker;
+* **rollups and Prometheus text exposition**
+  (:mod:`repro.obs.export`) and a **live progress view**
+  (:mod:`repro.obs.live`).
+
 The contract: with observability off (the default everywhere), every
 fast lane and hot loop is untouched and results are bit-identical;
 with it on, statistics are still bit-identical (the system routes
 accesses through the general paths, which the fast-path differential
-suite already proves equivalent) and only wall time pays. See
-``docs/OBSERVABILITY.md``.
+suite already proves equivalent) and only wall time pays. The bus
+honours the same contract at batch scope: off means zero events and
+one ``None`` check per hook. See ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.bus import (
+    EVENT_KINDS,
+    BusEvent,
+    BusHandle,
+    EventBus,
+    read_events,
+    validate_events,
+)
 from repro.obs.config import (
     DEFAULT_MAX_EVENTS,
     DEFAULT_SAMPLE_INTERVAL,
     ObsConfig,
 )
+from repro.obs.export import (
+    export_prometheus,
+    prometheus_text,
+    rollup_events,
+)
+from repro.obs.live import LiveView
 from repro.obs.observe import STALL_EVENT, Observation
 from repro.obs.registry import Counter, Gauge, Histogram, Registry
 from repro.obs.report import (
@@ -34,6 +60,7 @@ from repro.obs.report import (
     run_observed,
 )
 from repro.obs.sampler import UtilizationSampler
+from repro.obs.spans import build_batch_trace, write_batch_trace
 from repro.obs.timeline import EventTimeline, validate_trace
 
 __all__ = [
@@ -53,4 +80,16 @@ __all__ = [
     "format_rollup",
     "phase_means",
     "run_observed",
+    "EVENT_KINDS",
+    "BusEvent",
+    "BusHandle",
+    "EventBus",
+    "read_events",
+    "validate_events",
+    "build_batch_trace",
+    "write_batch_trace",
+    "rollup_events",
+    "prometheus_text",
+    "export_prometheus",
+    "LiveView",
 ]

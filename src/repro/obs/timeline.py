@@ -121,8 +121,12 @@ def validate_trace(source: str | Path | dict) -> list[str]:
     Returns a list of problems (empty means valid): the payload must be
     an object with a ``traceEvents`` list; every ``X`` event needs
     ``name``/``cat``/``pid``/``tid`` plus non-negative integer
-    ``ts``/``dur``; and ``ts`` must be non-decreasing within each
-    ``(pid, tid)`` track — the ordering Perfetto's importer expects.
+    ``ts``/``dur``; instant ("i") and counter ("C") events — the batch
+    traces from :mod:`repro.obs.spans` use both — need
+    ``name``/``pid``/``tid`` and a non-negative integer ``ts`` (plus a
+    valid scope for instants and an ``args`` object for counters); and
+    ``ts`` must be non-decreasing within each ``(pid, tid)`` track —
+    the ordering Perfetto's importer expects.
     """
     if isinstance(source, (str, Path)):
         try:
@@ -147,19 +151,35 @@ def validate_trace(source: str | Path | dict) -> list[str]:
         phase = event.get("ph")
         if phase == "M":
             continue
-        if phase != "X":
+        if phase not in ("X", "i", "C"):
             errors.append(f"event {index} has unsupported phase {phase!r}")
             continue
-        for key in ("name", "cat", "pid", "tid"):
+        required = (
+            ("name", "cat", "pid", "tid") if phase == "X"
+            else ("name", "pid", "tid")
+        )
+        for key in required:
             if key not in event:
                 errors.append(f"event {index} is missing {key!r}")
         ts = event.get("ts")
-        dur = event.get("dur")
         if not isinstance(ts, int) or ts < 0:
             errors.append(f"event {index} has bad ts {ts!r}")
             continue
-        if not isinstance(dur, int) or dur < 0:
-            errors.append(f"event {index} has bad dur {dur!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                errors.append(f"event {index} has bad dur {dur!r}")
+        elif phase == "i":
+            scope = event.get("s", "t")
+            if scope not in ("g", "p", "t"):
+                errors.append(
+                    f"event {index} has bad instant scope {scope!r}"
+                )
+        elif phase == "C":
+            if not isinstance(event.get("args"), dict):
+                errors.append(
+                    f"event {index} (counter) needs an args object"
+                )
         key = (event.get("pid"), event.get("tid"))
         if ts < last_ts.get(key, 0):
             errors.append(

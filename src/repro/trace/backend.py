@@ -25,6 +25,7 @@ from pathlib import Path
 from repro.core.experiment import ExperimentResult, run_one
 from repro.errors import ConfigError
 from repro.mem.hierarchy import MemConfig
+from repro.obs import bus as obs_bus
 from repro.trace.store import TraceStore
 
 
@@ -61,6 +62,12 @@ def run_replay(
         )
     result.extras["backend"] = "replay"
     result.extras.setdefault("replay", {})["trace"] = trace_path.name
+    obs_bus.emit(
+        "trace.replay",
+        workload=job.workload_key(),
+        engine=result.extras["replay"].get("engine", "?"),
+        trace=trace_path.name,
+    )
     return result
 
 

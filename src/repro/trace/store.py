@@ -28,6 +28,8 @@ from typing import Callable
 
 import repro
 from repro.errors import ConfigError, ReproError
+from repro.obs import bus as obs_bus
+from repro.obs.registry import Registry
 
 #: The fixed reference machine every trace is recorded on. The
 #: baseline architecture keeps the recorded stream topology-neutral,
@@ -48,12 +50,35 @@ def default_trace_dir() -> Path:
 
 
 class TraceStore:
-    """On-disk, content-addressed trace artifacts."""
+    """On-disk, content-addressed trace artifacts.
+
+    Each instance counts its traffic (``hits``/``misses``/``records``
+    plus bytes written at record time) in a
+    :class:`~repro.obs.registry.Registry`; with a batch telemetry bus
+    current in the process, lookups and recordings also land on it as
+    ``trace.hit``/``trace.record`` events.
+    """
 
     def __init__(self, root: str | Path | None = None) -> None:
         self.root = (
             Path(root).expanduser() if root else default_trace_dir()
         )
+        self.metrics = Registry()
+
+    @property
+    def hits(self) -> int:
+        return self.metrics.counter("hits").value
+
+    @property
+    def records(self) -> int:
+        return self.metrics.counter("records").value
+
+    def stats(self) -> dict:
+        """Counter snapshot for reports and rollups."""
+        return {
+            name: counter.value
+            for name, counter in sorted(self.metrics.counters.items())
+        }
 
     # ------------------------------------------------------------------
     # identity
@@ -114,13 +139,17 @@ class TraceStore:
         key = self.key(workload, scale, n_cpus)
         path = self.path_for(key)
         if path.is_file():
-            return path
-        if progress is not None:
-            progress(
-                f"[record] {workload}/{scale}/{n_cpus}cpu "
-                f"on {REFERENCE_ARCH}"
-            )
-        return self.record(workload, scale, n_cpus)
+            self.metrics.counter("hits").inc()
+            obs_bus.emit("trace.hit", key=key, workload=workload)
+        else:
+            self.metrics.counter("misses").inc()
+            if progress is not None:
+                progress(
+                    f"[record] {workload}/{scale}/{n_cpus}cpu "
+                    f"on {REFERENCE_ARCH}"
+                )
+            path = self.record(workload, scale, n_cpus)
+        return path
 
     def record(self, workload: str, scale: str, n_cpus: int) -> Path:
         """Record ``workload`` on the reference machine and store it.
@@ -176,4 +205,13 @@ class TraceStore:
         meta_tmp = path.parent / f".{path.name}.meta.{os.getpid()}.tmp"
         meta_tmp.write_text(json.dumps(meta, sort_keys=True, indent=2))
         meta_tmp.replace(path.with_suffix(".json"))
+        self.metrics.counter("records").inc()
+        self.metrics.counter("bytes_written").inc(path.stat().st_size)
+        obs_bus.emit(
+            "trace.record",
+            key=key,
+            workload=workload,
+            records=count,
+            record_wall_seconds=wall,
+        )
         return path

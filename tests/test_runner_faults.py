@@ -83,6 +83,138 @@ def test_poison_job_is_quarantined(tmp_path, monkeypatch):
 
 
 # ----------------------------------------------------------------------
+# Worker crashes with batch telemetry attached
+
+
+def test_events_survive_a_sigkilled_worker(tmp_path, monkeypatch):
+    """Everything a worker emitted before its SIGKILL must be in the
+    log: emission is a synchronous RPC into the manager process, so the
+    dead worker's ``job.start`` survives even though no terminator ever
+    arrives, and the batch trace closes its span as ``killed``."""
+    from repro.obs import (
+        EventBus, build_batch_trace, validate_events, validate_trace,
+    )
+
+    monkeypatch.setenv("REPRO_TEST_KILL_DIR", str(tmp_path))
+    killer_job = Job(
+        arch="shared-l1",
+        workload=ckpt_helpers.kill_once_workload,
+        scale="test",
+        max_cycles=CAP,
+    )
+    batch = [killer_job, normal_job("shared-l2"), normal_job("shared-mem")]
+    log = tmp_path / "events.jsonl"
+    bus = EventBus(log_path=log).start()
+    report = Runner(jobs=2, bus=bus).run(batch)
+    bus.stop()
+
+    assert not report.failures
+    assert report.worker_crashes >= 1
+    assert validate_events(log) == []
+    kinds = [event.kind for event in bus.events]
+    # the first (killed) attempt's start is in the stream...
+    killer_starts = [
+        event for event in bus.events
+        if event.kind == "job.start"
+        and event.fields["job"].startswith("ckpt_helpers.")
+    ]
+    assert len(killer_starts) >= 2  # killed attempt + successful retry
+    assert killer_starts[0].fields["attempt"] == 1
+    assert max(s.fields["attempt"] for s in killer_starts) >= 2
+    # ...alongside the parent's crash bookkeeping
+    assert kinds.count("job.retry") >= 1
+    assert kinds.count("worker.death") >= 1
+    assert kinds.count("pool.rebuild") >= 1
+    assert kinds.count("worker.spawn") >= 2  # both pools announced
+    # every job that finished carries a finish event
+    assert kinds.count("job.finish") == 3
+
+    trace = build_batch_trace(bus.events, label="fault smoke")
+    assert validate_trace(trace) == []
+    spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+    # the murdered attempt is visible, and the retry span is marked
+    assert any(
+        s["args"]["status"] in ("killed", "lost") for s in spans
+    )
+    assert any(s["cat"] == "retry" for s in spans)
+    assert report.telemetry["by_kind"]["pool.rebuild"] >= 1
+
+
+def test_collector_drains_before_pool_rebuild_is_recorded(
+    tmp_path, monkeypatch
+):
+    """The ``pool.rebuild`` marker must land *after* everything the
+    dead pool's workers emitted — the runner flushes the queue before
+    recording the rebuild, so seq order proves the drain happened."""
+    from repro.obs import EventBus
+
+    monkeypatch.setenv("REPRO_TEST_KILL_DIR", str(tmp_path))
+    batch = [
+        Job(
+            arch="shared-l1",
+            workload=ckpt_helpers.kill_once_workload,
+            scale="test",
+            max_cycles=CAP,
+        ),
+        normal_job("shared-l2"),
+    ]
+    bus = EventBus().start()
+    report = Runner(jobs=2, bus=bus).run(batch)
+    bus.stop()
+    assert not report.failures
+
+    rebuilds = [e for e in bus.events if e.kind == "pool.rebuild"]
+    assert rebuilds
+    first_rebuild = rebuilds[0].seq
+    # the killed attempt's start was emitted from the dead pool, yet
+    # its seq precedes the rebuild marker
+    killed_start = next(
+        e for e in bus.events
+        if e.kind == "job.start" and e.fields["attempt"] == 1
+        and e.fields["job"].startswith("ckpt_helpers.")
+    )
+    assert killed_start.seq < first_rebuild
+    # and the worker.death marker immediately precedes the rebuild
+    deaths = [e.seq for e in bus.events if e.kind == "worker.death"]
+    assert any(seq < first_rebuild for seq in deaths)
+
+
+def test_quarantine_lands_on_the_bus(tmp_path, monkeypatch):
+    """A poison job's terminal quarantine decision is an event (with
+    its attempt count), so fleet dashboards can see it without parsing
+    the run report."""
+    from repro.obs import EventBus, rollup_events
+
+    monkeypatch.setenv("REPRO_TEST_KILL_DIR", str(tmp_path))
+    batch = [
+        Job(
+            arch=arch,
+            workload=ckpt_helpers.kill_always_workload,
+            scale="test",
+            max_cycles=CAP,
+        )
+        for arch in ("shared-l1", "shared-l2")
+    ]
+    bus = EventBus().start()
+    report = Runner(jobs=2, max_retries=1, bus=bus).run(batch)
+    bus.stop()
+
+    assert len(report.failures) == 2
+    quarantined = [
+        e for e in bus.events if e.kind == "job.quarantined"
+    ]
+    assert len(quarantined) == 2
+    assert all(e.fields["attempts"] == 2 for e in quarantined)
+    rollup = rollup_events(bus.events)
+    assert rollup["jobs"]["quarantined"] == 2
+    assert rollup["pool_rebuilds"] >= 2
+    assert rollup["worker_deaths"] >= 2
+    # batch.end still closes the stream after all the carnage
+    assert bus.events[-1].kind == "batch.end"
+    assert bus.events[-1].fields["failures"] == 2
+
+
+# ----------------------------------------------------------------------
 # Wall-clock timeouts
 
 
