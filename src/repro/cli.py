@@ -82,6 +82,21 @@ and auto-resumes from the latest checkpoint after a kill;
     python -m repro trace --workload eqntott --limit 60
         Dump a workload's instruction stream (no simulation).
 
+    python -m repro serve --port 8765
+        Run the simulation service daemon (see docs/SERVICE.md):
+        an async priority job queue and a persistent warm worker
+        pool behind a JSON HTTP API. SIGINT/SIGTERM shut it down
+        gracefully, persisting unfinished jobs for ``--resume``.
+
+    python -m repro client submit --workload fft --arch shared-l2 --wait
+        Submit a job to a running daemon (plus ``status``, ``result``,
+        ``cancel``, ``watch`` and ``queue`` subcommands). Identical
+        specs dedup server-side to a single simulation.
+
+    python -m repro cache stats
+        Inspect the shared result cache: on-disk entries and bytes,
+        or a running daemon's live counters with ``--server``.
+
     python -m repro selfcheck
         Run the fast invariant battery (seconds; meant for CI).
 
@@ -455,6 +470,169 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument(
         "--limit", type=int, default=60, help="instructions to print"
     )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the simulation service daemon (HTTP job queue; "
+             "see docs/SERVICE.md)",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port (default: 8765; 0 = ephemeral)",
+    )
+    serve_p.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="warm pool worker processes (default: all cores)",
+    )
+    serve_p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache (dedup of in-flight identical "
+             "specs still applies)",
+    )
+    serve_p.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help=f"result cache location (default: {default_cache_dir()})",
+    )
+    serve_p.add_argument(
+        "--state-dir", metavar="PATH", default=None,
+        help="where the queue manifest and telemetry log live "
+             "(default: <cache-dir>/serve)",
+    )
+    serve_p.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="crash retries per job before quarantine (default: 2)",
+    )
+    serve_p.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="CYCLES",
+        help="daemon policy: checkpoint accepted jobs every CYCLES "
+             "(requires --checkpoint-dir; crash retries resume)",
+    )
+    serve_p.add_argument(
+        "--checkpoint-dir", metavar="PATH", default=None,
+        help="checkpoint store for --checkpoint-every",
+    )
+    serve_p.add_argument(
+        "--trace-dir", metavar="PATH", default=None,
+        help="trace artifact store stamped onto replay jobs "
+             "(default: <cache>/traces)",
+    )
+    serve_p.add_argument(
+        "--resume", action="store_true",
+        help="re-enqueue jobs persisted by the last shutdown's queue "
+             "manifest",
+    )
+    serve_p.add_argument(
+        "--grace", type=float, default=30.0, metavar="SECONDS",
+        help="shutdown drain budget before in-flight work is killed "
+             "and persisted (default: 30)",
+    )
+
+    client_p = sub.add_parser(
+        "client", help="talk to a running repro serve daemon"
+    )
+    client_sub = client_p.add_subparsers(
+        dest="client_command", required=True
+    )
+
+    def _add_server(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--server", default="http://127.0.0.1:8765", metavar="URL",
+            help="daemon base URL (default: http://127.0.0.1:8765)",
+        )
+
+    submit_p = client_sub.add_parser(
+        "submit", help="submit one job to the daemon"
+    )
+    submit_p.add_argument(
+        "--workload", "-w", required=True, choices=sorted(WORKLOADS),
+        help="which of the paper's workloads to run",
+    )
+    submit_p.add_argument(
+        "--arch", "-a", "--topology", required=True,
+        choices=topology_names(),
+        help="memory-system topology preset (--topology is an alias)",
+    )
+    submit_p.add_argument(
+        "--cpu", "-c", default="mipsy", choices=CPU_MODELS,
+        help="CPU model",
+    )
+    submit_p.add_argument(
+        "--cpus", "-n", type=int, default=None,
+        help="number of processors (default: the preset's natural "
+             "core count)",
+    )
+    submit_p.add_argument(
+        "--scale", "-s", default="test", choices=_SCALES,
+        help="size preset",
+    )
+    submit_p.add_argument(
+        "--set", dest="overrides", type=_parse_override, action="append",
+        default=[], metavar="FIELD=VALUE",
+        help="override a MemConfig field (repeatable)",
+    )
+    submit_p.add_argument(
+        "--max-cycles", type=int, default=None,
+        help="safety cap on simulated cycles",
+    )
+    submit_p.add_argument(
+        "--replay", action="store_true",
+        help="run on the trace-replay backend (see docs/REPLAY.md)",
+    )
+    submit_p.add_argument(
+        "--timeout", type=float, default=0.0, metavar="SECONDS",
+        help="per-job wall-clock budget enforced by the worker",
+    )
+    submit_p.add_argument(
+        "--priority", type=int, default=0, metavar="N",
+        help="queue priority (lower runs sooner; default: 0)",
+    )
+    submit_p.add_argument(
+        "--wait", action="store_true",
+        help="block until the job is terminal and print its result",
+    )
+    _add_server(submit_p)
+
+    for name, help_text in (
+        ("status", "print a job's lifecycle status"),
+        ("result", "fetch and print a finished job's statistics"),
+        ("cancel", "cancel a queued or running job"),
+        ("watch", "follow a job's live event stream"),
+    ):
+        verb_p = client_sub.add_parser(name, help=help_text)
+        verb_p.add_argument("job_id", help="content-addressed job id")
+        _add_server(verb_p)
+    queue_p = client_sub.add_parser(
+        "queue", help="print the daemon's queue summary"
+    )
+    _add_server(queue_p)
+
+    cache_p = sub.add_parser(
+        "cache", help="result cache: stats"
+    )
+    cache_sub = cache_p.add_subparsers(
+        dest="cache_command", required=True
+    )
+    cache_stats_p = cache_sub.add_parser(
+        "stats",
+        help="entry count, bytes and age of the on-disk store (or a "
+             "daemon's live counters with --server)",
+    )
+    cache_stats_p.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help=f"result cache location (default: {default_cache_dir()})",
+    )
+    cache_stats_p.add_argument(
+        "--server", default=None, metavar="URL",
+        help="query a running repro serve daemon instead of local disk",
+    )
+    cache_stats_p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output",
+    )
     return parser
 
 
@@ -490,6 +668,43 @@ def _cmd_list() -> int:
     print(f"cpu models:    {', '.join(CPU_MODELS)}")
     print(f"scales:        {', '.join(_SCALES)}")
     return 0
+
+
+def _print_result_stats(result, title: str) -> None:
+    """Print one result's statistics block (``run`` and ``client``)."""
+    stats = result.stats
+    print(f"{title}:")
+    print(f"  cycles        {stats.cycles}")
+    print(f"  instructions  {stats.instructions}")
+    print(f"  machine IPC   {stats.ipc:.3f}")
+    breakdown = stats.aggregate_breakdown()
+    total = max(breakdown.total, 1)
+    for name, value in breakdown.as_dict().items():
+        print(f"  {name:<13} {value:>10}  ({100 * value / total:5.1f}%)")
+    l1 = stats.aggregate_caches(".l1d")
+    l2 = stats.aggregate_caches(".l2")
+    print(f"  L1 data: {l1.accesses} refs, "
+          f"L1R {100 * l1.miss_rate_repl:.2f}%  "
+          f"L1I {100 * l1.miss_rate_inval:.2f}%")
+    print(f"  L2:      {l2.accesses} refs, "
+          f"L2R {100 * l2.miss_rate_repl:.2f}%  "
+          f"L2I {100 * l2.miss_rate_inval:.2f}%")
+    sync = result.extras.get("sync", {})
+    if sync:
+        print("  synchronization:")
+        for name, info in sorted(sync.items()):
+            fields = "  ".join(
+                f"{key}={value}" for key, value in info.items()
+                if key != "kind"
+            )
+            print(f"    {name:<20} [{info['kind']}] {fields}")
+    ckpt = result.extras.get("checkpoint")
+    if ckpt:
+        line = f"  checkpoints   {ckpt['saved']} saved"
+        if ckpt.get("resumed_from"):
+            line += f", resumed from {ckpt['resumed_from'][:12]}"
+        print(line)
+    print(f"  wall time     {result.wall_seconds:.2f}s")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -560,39 +775,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    stats = result.stats
-    print(f"{args.workload} on {args.arch} ({args.cpu}, {args.scale}):")
-    print(f"  cycles        {stats.cycles}")
-    print(f"  instructions  {stats.instructions}")
-    print(f"  machine IPC   {stats.ipc:.3f}")
-    breakdown = stats.aggregate_breakdown()
-    total = max(breakdown.total, 1)
-    for name, value in breakdown.as_dict().items():
-        print(f"  {name:<13} {value:>10}  ({100 * value / total:5.1f}%)")
-    l1 = stats.aggregate_caches(".l1d")
-    l2 = stats.aggregate_caches(".l2")
-    print(f"  L1 data: {l1.accesses} refs, "
-          f"L1R {100 * l1.miss_rate_repl:.2f}%  "
-          f"L1I {100 * l1.miss_rate_inval:.2f}%")
-    print(f"  L2:      {l2.accesses} refs, "
-          f"L2R {100 * l2.miss_rate_repl:.2f}%  "
-          f"L2I {100 * l2.miss_rate_inval:.2f}%")
-    sync = result.extras.get("sync", {})
-    if sync:
-        print("  synchronization:")
-        for name, info in sorted(sync.items()):
-            fields = "  ".join(
-                f"{key}={value}" for key, value in info.items()
-                if key != "kind"
-            )
-            print(f"    {name:<20} [{info['kind']}] {fields}")
-    ckpt = result.extras.get("checkpoint")
-    if ckpt:
-        line = f"  checkpoints   {ckpt['saved']} saved"
-        if ckpt.get("resumed_from"):
-            line += f", resumed from {ckpt['resumed_from'][:12]}"
-        print(line)
-    print(f"  wall time     {result.wall_seconds:.2f}s")
+    _print_result_stats(
+        result, f"{args.workload} on {args.arch} ({args.cpu}, {args.scale})"
+    )
     if report is not None:
         print(f"  runner        {report.summary()}")
     obs_rollup = result.extras.get("obs")
@@ -1098,6 +1283,245 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+    from pathlib import Path
+
+    from repro.serve import ServiceDaemon
+
+    if args.checkpoint_every and not args.checkpoint_dir:
+        print(
+            "error: --checkpoint-every requires --checkpoint-dir",
+            file=sys.stderr,
+        )
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    base = (
+        Path(args.cache_dir).expanduser()
+        if args.cache_dir
+        else default_cache_dir()
+    )
+    state_dir = (
+        Path(args.state_dir).expanduser()
+        if args.state_dir
+        else base / "serve"
+    )
+    daemon = ServiceDaemon(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache=cache,
+        state_dir=state_dir,
+        max_retries=args.max_retries,
+        ckpt_every=args.checkpoint_every,
+        ckpt_dir=args.checkpoint_dir,
+        trace_dir=args.trace_dir,
+    )
+    try:
+        daemon.start(resume=args.resume)
+    except OSError as error:
+        print(
+            f"error: cannot bind {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    stop = threading.Event()
+
+    def _handle_signal(signum, frame):
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _handle_signal)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    cache_text = "off" if cache is None else str(cache.root)
+    print(
+        f"repro serve listening on http://{args.host}:{daemon.port} "
+        f"({daemon.runner.n_jobs} worker(s), cache {cache_text})",
+        flush=True,
+    )
+    print(f"state dir {state_dir}", flush=True)
+    try:
+        stop.wait()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        print("shutting down (draining queue)...", flush=True)
+        daemon.shutdown(grace=args.grace)
+        pending = len(daemon.queue.pending())
+        if pending:
+            print(
+                f"{pending} unfinished job(s) persisted; restart with "
+                "--resume to re-enqueue them",
+                flush=True,
+            )
+        print("daemon stopped", flush=True)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.serve import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server)
+    try:
+        if args.client_command == "submit":
+            return _client_submit(client, args)
+        if args.client_command == "status":
+            status = client.status(args.job_id)
+            for key in (
+                "id", "label", "backend", "state", "priority",
+                "attempts", "submits", "cached", "error",
+                "cancel_requested",
+            ):
+                value = status.get(key)
+                if value is not None and value != "":
+                    print(f"  {key:<17} {value}")
+            return 0
+        if args.client_command == "result":
+            status = client.status(args.job_id)
+            result = client.result(args.job_id)
+            _print_result_stats(
+                result, f"{status['label']} [{status['state']}]"
+            )
+            return 0
+        if args.client_command == "cancel":
+            response = client.cancel(args.job_id)
+            print(f"job {response['id'][:12]}: {response['state']}"
+                  + (" (cancel requested)"
+                     if response["cancel_requested"] else ""))
+            return 0
+        if args.client_command == "watch":
+            return _client_watch(client, args.job_id)
+        # queue
+        document = client.queue()
+        counts = ", ".join(
+            f"{count} {state}"
+            for state, count in document["counts"].items()
+        ) or "empty"
+        print(
+            f"queue: {counts} "
+            f"({document['workers']} worker(s), "
+            f"{document['inflight']} in flight, "
+            f"{document['executed']} executed, "
+            f"accepting={str(document['accepting']).lower()})"
+        )
+        for job in document["jobs"]:
+            print(
+                f"  {job['id'][:12]} {job['state']:<11} "
+                f"attempts={job['attempts']} {job['label']}"
+            )
+        return 0
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _client_submit(client, args: argparse.Namespace) -> int:
+    """``repro client submit``: build the wire payload and send it."""
+    payload: dict = {
+        "workload": args.workload,
+        "arch": args.arch,
+        "cpu_model": args.cpu,
+        "scale": args.scale,
+    }
+    if args.cpus is not None:
+        payload["n_cpus"] = args.cpus
+    if args.overrides:
+        payload["overrides"] = dict(args.overrides)
+    if args.max_cycles is not None:
+        payload["max_cycles"] = args.max_cycles
+    if args.replay:
+        payload["replay"] = True
+    if args.timeout:
+        payload["timeout_s"] = args.timeout
+    response = client.submit(payload, priority=args.priority)
+    note = " (deduped)" if response["reused"] else ""
+    print(f"job {response['id']}")
+    print(f"  state  {response['state']}{note}")
+    if not args.wait:
+        return 0
+    status = client.wait(response["id"])
+    print(f"  final  {status['state']} "
+          f"after {status['attempts']} attempt(s)")
+    if status["state"] not in ("done", "cached"):
+        if status.get("error"):
+            print(f"error: {status['error']}", file=sys.stderr)
+        return 1
+    result = client.result(response["id"])
+    _print_result_stats(
+        result,
+        f"{args.workload} on {args.arch} ({args.cpu}, {args.scale}, "
+        "via service)",
+    )
+    return 0
+
+
+def _client_watch(client, job_id: str) -> int:
+    """``repro client watch``: print the live NDJSON event stream."""
+    final_state = None
+    for event in client.watch(job_id):
+        kind = event.get("kind", "?")
+        if kind == "serve.state":
+            final_state = event.get("state")
+        fields = " ".join(
+            f"{key}={value}"
+            for key, value in sorted(event.items())
+            if key not in ("kind", "seq", "ts", "pid", "tag", "id")
+        )
+        print(f"{kind:<16} {fields}".rstrip(), flush=True)
+    if final_state is None:
+        print("stream ended before the job did", file=sys.stderr)
+        return 1
+    return 0 if final_state in ("done", "cached") else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    if args.server:
+        from repro.serve import ServiceClient, ServiceError
+
+        try:
+            info = ServiceClient(args.server).cache()
+        except ServiceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        cache = ResultCache(args.cache_dir)
+        info = {
+            "enabled": True,
+            "counters": cache.stats(),
+            "disk": cache.disk_stats(),
+        }
+    if args.json:
+        print(json_mod.dumps(info, indent=2, sort_keys=True))
+        return 0
+    if not info.get("enabled", True):
+        print("result cache is disabled on the daemon")
+        return 0
+    disk = info["disk"]
+    print(f"result cache at {disk['root']}")
+    print(f"  entries  {disk['entries']}")
+    print(f"  bytes    {disk['bytes']}")
+    if disk.get("oldest_mtime") and disk.get("newest_mtime"):
+        import time as time_mod
+
+        age = time_mod.time() - disk["oldest_mtime"]
+        print(f"  oldest   {age / 3600:.1f}h ago")
+    counters = {
+        key: value
+        for key, value in sorted(info.get("counters", {}).items())
+        if value
+    }
+    if counters:
+        text = ", ".join(
+            f"{value} {key}" for key, value in counters.items()
+        )
+        print(f"  session counters: {text}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: dispatch a parsed command; returns the exit code."""
     args = build_parser().parse_args(argv)
@@ -1117,6 +1541,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_obs(args)
     if args.command == "ckpt":
         return _cmd_ckpt(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "client":
+        return _cmd_client(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "selfcheck":
         from repro.core.selfcheck import run_selfcheck
 

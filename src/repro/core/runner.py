@@ -36,8 +36,9 @@ import os
 import signal
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
@@ -302,6 +303,7 @@ def _execute_job(
     job: Job,
     handle: "obs_bus.BusHandle | None" = None,
     attempt: int = 1,
+    tag: str | None = None,
 ) -> ExperimentResult:
     """Module-level trampoline so the pool can pickle the call.
 
@@ -312,6 +314,12 @@ def _execute_job(
     ``job.start``/``job.finish`` (or ``job.timeout``/``job.fail``)
     events. Emission is a synchronous RPC into the manager process, so
     everything emitted before a SIGKILL survives the worker.
+
+    ``tag`` is an opaque caller identity (the service layer's job id)
+    stamped onto every lifecycle event, so a consumer that knows only
+    the tag — the daemon's per-job event stream — can follow this
+    execution without parsing labels (two distinct specs can share a
+    label; tags are unique).
     """
     if handle is None:
         return _run_with_timeout(job)
@@ -321,13 +329,15 @@ def _execute_job(
         _ANNOUNCED_PIDS.add(pid)
         handle.emit("worker.spawn")
     label = job.label()
-    handle.emit("job.start", job=label, attempt=attempt)
+    extra = {} if tag is None else {"tag": tag}
+    handle.emit("job.start", job=label, attempt=attempt, **extra)
     started = time.perf_counter()
     try:
         result = _run_with_timeout(job)
     except JobTimeoutError as error:
         handle.emit(
-            "job.timeout", job=label, attempt=attempt, error=str(error)
+            "job.timeout", job=label, attempt=attempt, error=str(error),
+            **extra,
         )
         raise
     except Exception as error:
@@ -336,6 +346,7 @@ def _execute_job(
             job=label,
             attempt=attempt,
             error=f"{type(error).__name__}: {error}",
+            **extra,
         )
         raise
     handle.emit(
@@ -344,6 +355,7 @@ def _execute_job(
         attempt=attempt,
         wall_seconds=time.perf_counter() - started,
         cycles=result.stats.cycles,
+        **extra,
     )
     return result
 
@@ -407,6 +419,42 @@ def _source_fingerprint() -> str:
 # ----------------------------------------------------------------------
 # On-disk result cache
 
+try:
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover — non-POSIX hosts
+    _fcntl = None
+
+
+@contextmanager
+def _publish_lock(path: Path):
+    """Advisory per-key lock held across a cache publish.
+
+    Uses ``fcntl.flock`` on a sibling lock file where available and
+    degrades to a no-op elsewhere — the atomic rename remains the
+    correctness backstop for readers either way.
+    """
+    if _fcntl is None:
+        yield
+        return
+    try:
+        handle = open(path, "w")
+    except OSError:
+        yield
+        return
+    try:
+        _fcntl.flock(handle, _fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            _fcntl.flock(handle, _fcntl.LOCK_UN)
+        except OSError:
+            pass
+        handle.close()
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
 
 class ResultCache:
     """Content-addressed store of :class:`ExperimentResult` payloads.
@@ -417,6 +465,15 @@ class ResultCache:
     are written atomically (tmp + rename) so concurrent runners sharing
     a cache directory never observe torn files; corrupt or unreadable
     entries are treated as misses and dropped.
+
+    Two further guards harden the daemon path, where many writers and
+    readers share one store indefinitely: publishes of the same key are
+    serialized by a per-key advisory lock (``fcntl.flock`` where the
+    platform has it, a no-op elsewhere), so two workers finishing the
+    same simulation can never interleave their tmp-and-rename windows;
+    and every read audits the embedded content address against the
+    entry's filename, so a torn, truncated or misplaced entry is
+    evicted as corrupt rather than returned.
 
     Every instance counts its own traffic in a
     :class:`~repro.obs.registry.Registry` (``hits``/``misses``/
@@ -464,6 +521,10 @@ class ResultCache:
         try:
             text = path.read_text()
             payload = json.loads(text)
+            # Integrity audit: the entry must claim the content address
+            # it is filed under, or it is torn/misplaced — evict it.
+            if payload.get("key") != path.stem:
+                raise ValueError("content address mismatch")
             result = ExperimentResult.from_dict(payload["result"])
         except FileNotFoundError:
             self.metrics.counter("misses").inc()
@@ -480,7 +541,13 @@ class ResultCache:
         return result
 
     def put(self, job: Job, result: ExperimentResult) -> None:
-        """Store ``result`` under ``job``'s content address."""
+        """Store ``result`` under ``job``'s content address.
+
+        The publish (tmp write + rename) happens under a per-key
+        advisory lock so concurrent same-key writers are serialized;
+        the rename itself stays atomic, so lockless readers (and
+        platforms without ``fcntl``) still never see a torn entry.
+        """
         path = self.path_for(job)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -491,11 +558,42 @@ class ResultCache:
         }
         text = json.dumps(payload, sort_keys=True)
         tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
-        tmp.write_text(text)
-        tmp.replace(path)
+        with _publish_lock(path.parent / f".{path.name}.lock"):
+            tmp.write_text(text)
+            tmp.replace(path)
         self.metrics.counter("stores").inc()
         self.metrics.counter("bytes_written").inc(len(text))
         obs_bus.emit("cache.store", key=path.stem, bytes=len(text))
+
+    def disk_stats(self) -> dict:
+        """Scan the on-disk store: entry count, bytes, age span.
+
+        Unlike :meth:`stats` (this instance's in-memory traffic
+        counters), this inspects the shared directory itself — what
+        ``repro cache stats`` surfaces for a store that many runners,
+        daemons and CI jobs write to.
+        """
+        entries = 0
+        total_bytes = 0
+        oldest: float | None = None
+        newest: float | None = None
+        for entry in self.root.glob("??/*.json"):
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue  # racing eviction
+            entries += 1
+            total_bytes += stat.st_size
+            mtime = stat.st_mtime
+            oldest = mtime if oldest is None else min(oldest, mtime)
+            newest = mtime if newest is None else max(newest, mtime)
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
 
     def _evict(self, path: Path) -> None:
         """Drop a corrupt entry (counted, unlike a plain miss)."""
@@ -803,6 +901,16 @@ class Runner:
             )
         return text
 
+    def session(self) -> "RunnerSession":
+        """Open a persistent warm pool for incremental submission.
+
+        Alongside the closed-batch :meth:`run`, a session lets a
+        long-lived caller (the ``repro serve`` daemon) submit jobs one
+        at a time against workers that stay warm between them, and
+        collect each result independently. See :class:`RunnerSession`.
+        """
+        return RunnerSession(self)
+
     def run(self, batch: Sequence[Job]) -> RunReport:
         """Execute ``batch``; returns outcomes in submission order."""
         batch = list(batch)
@@ -1020,6 +1128,137 @@ class Runner:
             timed_out=timed_out,
             attempts=attempts,
         )
+
+
+class RunnerSession:
+    """Persistent warm worker pool with an incremental submit API.
+
+    :meth:`Runner.run` executes one closed batch and tears its pool
+    down; a session keeps the ``ProcessPoolExecutor`` alive across
+    arbitrarily many submissions — the simulation service's warm pool.
+    ``submit`` hands one :class:`Job` to the pool and returns a
+    ``concurrent.futures.Future`` plus the pool *generation* it was
+    submitted against; the caller collects results (or failures) from
+    the future at its own pace.
+
+    Fault model: a SIGKILLed worker breaks the whole executor, failing
+    every in-flight future with ``BrokenProcessPool``. Each collector
+    then calls :meth:`rebuild` with its submission's generation — the
+    first call replaces the pool (and returns ``True``, so exactly one
+    caller reports the rebuild), later calls with the same stale
+    generation are no-ops. Retry/backoff policy stays with the caller;
+    the session only guarantees a healthy pool to resubmit into.
+
+    The session inherits the owning runner's telemetry: with a bus
+    attached, submitted jobs emit the same ``job.*``/``worker.*``
+    lifecycle events batch jobs do.
+    """
+
+    def __init__(self, runner: "Runner") -> None:
+        self.runner = runner
+        self.workers = runner.n_jobs
+        self._handle = (
+            runner.bus.handle() if runner.bus is not None else None
+        )
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self._generation = 0
+        self._closed = False
+
+    @property
+    def generation(self) -> int:
+        """Monotonic pool incarnation (bumped by every rebuild)."""
+        with self._lock:
+            return self._generation
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """Build the executor lazily (caller holds the lock)."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def submit(
+        self,
+        job: Job,
+        attempt: int = 1,
+        tag: str | None = None,
+    ) -> tuple[Future, int]:
+        """Queue ``job`` on the warm pool.
+
+        Returns ``(future, generation)``; pass the generation back to
+        :meth:`rebuild` if the future fails with ``BrokenProcessPool``.
+        ``attempt`` and ``tag`` are forwarded to the telemetry events.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("RunnerSession is closed")
+            pool = self._ensure_pool()
+            try:
+                future = pool.submit(
+                    _execute_job, job, self._handle, attempt, tag
+                )
+            except BrokenProcessPool:
+                # The pool broke since the last collect; replace it and
+                # submit into the fresh one.
+                self._rebuild_locked()
+                future = self._pool.submit(
+                    _execute_job, job, self._handle, attempt, tag
+                )
+            return future, self._generation
+
+    def rebuild(self, generation: int) -> bool:
+        """Replace the pool if ``generation`` is still the current one.
+
+        Returns ``True`` when this call performed the rebuild — the
+        caller owning that ``True`` should emit the single
+        ``worker.death``/``pool.rebuild`` telemetry pair. Stale
+        generations (another collector already rebuilt) and closed
+        sessions return ``False``.
+        """
+        with self._lock:
+            if self._closed or generation != self._generation:
+                return False
+            self._rebuild_locked()
+            return True
+
+    def _rebuild_locked(self) -> None:
+        pool, self._pool = self._pool, None
+        self._generation += 1
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    def pids(self) -> list[int]:
+        """Live worker process ids (ops introspection, fault tests)."""
+        with self._lock:
+            if self._pool is None:
+                return []
+            processes = getattr(self._pool, "_processes", None) or {}
+            return list(processes.keys())
+
+    def close(self, force: bool = False) -> None:
+        """Shut the pool down.
+
+        ``force=True`` SIGKILLs the workers instead of waiting for
+        in-flight jobs — the daemon's hard-shutdown path, where
+        unfinished jobs are persisted to a queue manifest and re-run
+        (resuming from their checkpoints) on the next start.
+        """
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if force:
+            victims = list((getattr(pool, "_processes", None) or {}))
+            pool.shutdown(wait=False, cancel_futures=True)
+            for pid in victims:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    pass
+        else:
+            pool.shutdown(wait=True)
 
 
 def run_jobs(

@@ -49,9 +49,11 @@ EVENT_KINDS = frozenset({
     # batch lifecycle (parent)
     "batch.start", "batch.end",
     # job lifecycle (worker for start/finish/fail/timeout; parent for
-    # cached skips, retries and quarantine decisions)
+    # cached skips, retries, quarantine and cancellation decisions —
+    # job.cancelled is the service layer's terminal state for a
+    # client-cancelled job)
     "job.start", "job.finish", "job.fail", "job.timeout",
-    "job.retry", "job.cached", "job.quarantined",
+    "job.retry", "job.cached", "job.quarantined", "job.cancelled",
     # worker-pool lifecycle
     "worker.spawn", "worker.death", "pool.rebuild",
     # artifact stores

@@ -23,6 +23,7 @@ _JOB_STATUS = {
     "job.timeout": "timeout",
     "job.cached": "cached",
     "job.quarantined": "quarantined",
+    "job.cancelled": "cancelled",
 }
 
 #: event kind → op label on repro_cache_ops_total

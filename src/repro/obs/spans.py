@@ -36,7 +36,7 @@ _CLOSERS = {
 
 #: parent-side events drawn as instants on the runner track
 _RUNNER_INSTANTS = {
-    "job.cached", "job.retry", "job.quarantined",
+    "job.cached", "job.retry", "job.quarantined", "job.cancelled",
     "worker.death", "pool.rebuild", "batch.start", "batch.end",
 }
 

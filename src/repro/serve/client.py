@@ -1,0 +1,245 @@
+"""Python client for the ``repro serve`` daemon.
+
+:class:`ServiceClient` wraps the JSON HTTP API in plain method calls
+built on ``urllib`` (stdlib only, matching the daemon's
+no-new-dependencies rule): submit a :class:`~repro.core.runner.Job` or
+a raw wire payload, poll status, block until terminal, fetch the full
+:class:`~repro.core.experiment.ExperimentResult`, cancel, and follow
+the live NDJSON event stream. The ``repro client`` CLI subcommands are
+thin shells over this class.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator
+
+from repro.core.experiment import ExperimentResult
+from repro.core.runner import Job
+from repro.errors import ReproError
+from repro.serve import wire
+from repro.serve.queue import TERMINAL_STATES
+
+DEFAULT_SERVER = "http://127.0.0.1:8765"
+
+
+class ServiceError(ReproError):
+    """An error response (or transport failure) from the service."""
+
+    def __init__(self, message: str, code: int | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` daemon.
+
+    ``server`` is the base URL (scheme + host + port). ``timeout`` is
+    the per-request socket timeout; long waits are built from repeated
+    short polls, so a slow simulation never trips it.
+    """
+
+    def __init__(
+        self,
+        server: str = DEFAULT_SERVER,
+        timeout: float = 10.0,
+    ) -> None:
+        self.server = server.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+    ) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.server + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = ""
+            try:
+                document = json.loads(error.read().decode("utf-8"))
+                detail = document.get("error", "")
+            except Exception:  # noqa: BLE001 - body may not be JSON
+                pass
+            raise ServiceError(
+                f"{method} {path} failed: HTTP {error.code}"
+                + (f" — {detail}" if detail else ""),
+                code=error.code,
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach {self.server}: {error.reason}"
+            ) from error
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, job: Job | dict, priority: int = 0) -> dict:
+        """Submit a job (or raw wire payload); returns the response.
+
+        The response carries the content-addressed job ``id`` plus its
+        current ``state`` — ``cached`` means the result is already
+        available, ``reused: true`` means an identical spec was
+        already in flight and this submission attached to it.
+        """
+        if isinstance(job, Job):
+            payload = wire.job_to_payload(job, priority)
+        else:
+            payload = dict(job)
+            if priority:
+                payload["priority"] = priority
+        return self._request("POST", "/v1/jobs", payload)
+
+    # -- polling --------------------------------------------------------
+
+    def status(self, job_id: str) -> dict:
+        """Current lifecycle status of ``job_id``."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float | None = None,
+        poll: float = 0.2,
+    ) -> dict:
+        """Poll until ``job_id`` is terminal; returns the final status.
+
+        Raises :class:`ServiceError` when ``timeout`` (seconds) expires
+        first.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout:g}s"
+                )
+            time.sleep(poll)
+
+    # -- results --------------------------------------------------------
+
+    def result_payload(self, job_id: str) -> dict:
+        """The raw ``/result`` document (result JSON + metadata)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def result(self, job_id: str) -> ExperimentResult:
+        """The job's :class:`ExperimentResult`, deserialized."""
+        return ExperimentResult.from_dict(
+            self.result_payload(job_id)["result"]
+        )
+
+    def run(
+        self,
+        job: Job | dict,
+        priority: int = 0,
+        timeout: float | None = None,
+    ) -> ExperimentResult:
+        """Submit, wait for completion, and fetch the result.
+
+        The blocking convenience path — the service-side equivalent of
+        :meth:`Job.run`. Raises :class:`ServiceError` if the job ends
+        without a result (failed, quarantined, cancelled).
+        """
+        job_id = self.submit(job, priority)["id"]
+        status = self.wait(job_id, timeout=timeout)
+        if status["state"] not in ("done", "cached"):
+            raise ServiceError(
+                f"job {job_id} ended {status['state']}"
+                + (
+                    f": {status['error']}"
+                    if status.get("error")
+                    else ""
+                )
+            )
+        return self.result(job_id)
+
+    # -- control --------------------------------------------------------
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cancellation; returns the resulting state."""
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    # -- streaming ------------------------------------------------------
+
+    def watch(self, job_id: str) -> Iterator[dict]:
+        """Follow ``job_id``'s live event stream (parsed NDJSON).
+
+        Yields each bus event routed to the job as a dict; the last
+        item is the synthetic ``serve.state`` record carrying the final
+        state. The HTTP connection stays open for the job's lifetime,
+        so no socket timeout is applied.
+        """
+        request = urllib.request.Request(
+            f"{self.server}/v1/jobs/{job_id}/events",
+            headers={"Accept": "application/x-ndjson"},
+        )
+        try:
+            with urllib.request.urlopen(request) as response:
+                for raw in response:
+                    line = raw.decode("utf-8").strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line)
+                    except ValueError:
+                        continue
+        except urllib.error.HTTPError as error:
+            raise ServiceError(
+                f"watch {job_id} failed: HTTP {error.code}",
+                code=error.code,
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach {self.server}: {error.reason}"
+            ) from error
+
+    # -- daemon introspection -------------------------------------------
+
+    def queue(self) -> dict:
+        """The daemon's queue document (counts + job listing)."""
+        return self._request("GET", "/v1/queue")
+
+    def health(self) -> dict:
+        """Liveness probe (version, uptime, accepting flag)."""
+        return self._request("GET", "/v1/health")
+
+    def cache(self) -> dict:
+        """Result-cache counters and disk usage."""
+        return self._request("GET", "/v1/cache")
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition (raw body)."""
+        request = urllib.request.Request(
+            self.server + "/v1/metrics",
+            headers={"Accept": "text/plain"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach {self.server}: {error}"
+            ) from error

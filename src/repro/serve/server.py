@@ -1,0 +1,654 @@
+"""The ``repro serve`` daemon: simulation-as-a-service over HTTP.
+
+:class:`ServiceDaemon` composes the pieces this package and the core
+runner already provide — a priority :class:`~repro.serve.queue.JobQueue`,
+a :class:`~repro.serve.scheduler.Scheduler` driving the warm
+:class:`~repro.core.runner.RunnerSession` pool, the content-addressed
+:class:`~repro.core.runner.ResultCache` and the batch
+:class:`~repro.obs.bus.EventBus` — behind a small JSON HTTP API served
+by the stdlib ``ThreadingHTTPServer`` (no new dependencies):
+
+====================================  =================================
+``POST /v1/jobs``                     submit a job (wire payload);
+                                      idempotent — identical specs
+                                      dedup to one record, cached specs
+                                      return instantly
+``GET  /v1/jobs/{id}``                lifecycle status + attempt count
+``GET  /v1/jobs/{id}/result``         the full ExperimentResult JSON
+``POST /v1/jobs/{id}/cancel``         cancel (queued: immediately;
+                                      running: result discarded)
+``GET  /v1/jobs/{id}/events``         live NDJSON event stream
+``GET  /v1/queue``                    per-state counts + job listing
+``GET  /v1/metrics``                  Prometheus text exposition
+``GET  /v1/cache``                    result-cache counters + disk use
+``GET  /v1/health``                   liveness + version probe
+====================================  =================================
+
+Graceful shutdown (:meth:`ServiceDaemon.shutdown`, wired to
+SIGINT/SIGTERM by the CLI) stops accepting, lets in-flight work drain
+for a grace period, SIGKILLs what remains, persists every unfinished
+job to a :class:`~repro.serve.queue.QueueManifest` for
+``repro serve --resume``, and flushes the event bus so the telemetry
+log is complete.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+import repro
+from repro.core.runner import ResultCache, Runner
+from repro.errors import ReproError
+from repro.obs import bus as obs_bus
+from repro.obs.bus import BusEvent, EventBus
+from repro.obs.export import prometheus_text, rollup_events
+from repro.serve import wire
+from repro.serve.queue import (
+    CANCELLED,
+    QUEUED,
+    JobQueue,
+    QueueManifest,
+)
+from repro.serve.scheduler import Scheduler
+
+
+class EventRouter:
+    """Fan bus events out to per-job streams by their ``tag`` field.
+
+    Installed as the :class:`EventBus` ``on_event`` callback; keeps an
+    append-only list per tag plus a condition the NDJSON stream
+    handlers wait on, so a client watching one job wakes exactly when
+    that job emits.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._by_tag: dict[str, list[BusEvent]] = {}
+
+    def __call__(self, event: BusEvent) -> None:
+        """Collector callback: route one event (untagged ones skip)."""
+        tag = event.fields.get("tag")
+        if not isinstance(tag, str) or not tag:
+            return
+        with self._cond:
+            self._by_tag.setdefault(tag, []).append(event)
+            self._cond.notify_all()
+
+    def events_for(self, tag: str, start: int = 0) -> list[BusEvent]:
+        """Events routed to ``tag`` from index ``start`` onward."""
+        with self._lock:
+            return list(self._by_tag.get(tag, ())[start:])
+
+    def wait(self, tag: str, start: int, timeout: float) -> bool:
+        """Block until ``tag`` has more than ``start`` events."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while len(self._by_tag.get(tag, ())) <= start:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    return False
+            return True
+
+
+class ServiceDaemon:
+    """Long-running simulation service: queue, warm pool, HTTP front.
+
+    ``port=0`` binds an ephemeral port (tests); read the bound one from
+    :attr:`port` after :meth:`start`. ``cache=None`` disables result
+    caching and dedup-by-cache (in-flight dedup still applies).
+    ``state_dir`` holds the shutdown queue manifest and the JSONL
+    telemetry log. ``ckpt_every``/``ckpt_dir`` and ``trace_dir`` are
+    daemon policy stamped onto every accepted job — they never cross
+    the wire and do not change job identity.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int | None = None,
+        cache: ResultCache | None = None,
+        state_dir: str | Path | None = None,
+        max_retries: int = 2,
+        ckpt_every: int = 0,
+        ckpt_dir: str | None = None,
+        trace_dir: str | None = None,
+    ) -> None:
+        self.host = host
+        self._requested_port = port
+        self.cache = cache
+        self.state_dir = Path(state_dir) if state_dir else None
+        self.ckpt_every = ckpt_every
+        self.ckpt_dir = ckpt_dir
+        self.trace_dir = trace_dir
+        self.router = EventRouter()
+        events_path = (
+            self.state_dir / "events.jsonl" if self.state_dir else None
+        )
+        self.bus = EventBus(
+            log_path=events_path, on_event=self.router
+        )
+        self.runner = Runner(
+            jobs=jobs,
+            cache=cache,
+            max_retries=max_retries,
+            bus=self.bus,
+        )
+        self.queue = JobQueue()
+        # Built in start(): the scheduler mints bus handles, which
+        # need the bus's manager to be running.
+        self.scheduler: Scheduler | None = None
+        self.manifest = (
+            QueueManifest(self.state_dir / "queue_manifest.json")
+            if self.state_dir
+            else None
+        )
+        self.started_at: float | None = None
+        self._accepting = False
+        self._stopping = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._shut = False
+        self._httpd: _ServeHTTPServer | None = None
+        self._server_thread: threading.Thread | None = None
+        self._previous_handle: obs_bus.BusHandle | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` after start)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def accepting(self) -> bool:
+        """Whether ``POST /v1/jobs`` is currently admitted."""
+        return self._accepting
+
+    def start(self, resume: bool = False) -> "ServiceDaemon":
+        """Bind, start the bus + scheduler, optionally re-enqueue a
+        persisted manifest, and begin serving. Returns ``self``."""
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.bus.start()
+        # Current-handle for the daemon process: cache get/put hooks
+        # (submit pre-checks, scheduler publishes) reach the bus.
+        self._previous_handle = obs_bus.set_current(self.bus.handle())
+        self.bus.emit("batch.start", service=True)
+        self.scheduler = Scheduler(self.runner, self.queue)
+        self.scheduler.start()
+        self.started_at = time.time()
+        self._accepting = True
+        if resume and self.manifest is not None:
+            self._resume_manifest()
+        self._httpd = _ServeHTTPServer(
+            (self.host, self._requested_port), _Handler, self
+        )
+        self._server_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+        return self
+
+    def _resume_manifest(self) -> None:
+        restored = 0
+        for entry in self.manifest.load():
+            try:
+                job = self._apply_policy(
+                    wire.job_from_payload(entry["job"])
+                )
+                job.spec()
+            except (ReproError, KeyError):
+                continue
+            priority = entry.get("priority", 0)
+            if not isinstance(priority, int) or isinstance(
+                priority, bool
+            ):
+                priority = 0
+            self.queue.submit(job, priority)
+            restored += 1
+        self.manifest.clear()
+        if restored:
+            self.bus.emit("batch.start", resumed_jobs=restored,
+                          service=True)
+
+    def shutdown(self, grace: float = 10.0) -> bool:
+        """Drain and stop everything; returns ``True`` if fully drained.
+
+        Stops accepting, waits up to ``grace`` seconds for the queue to
+        go idle, force-stops the scheduler (SIGKILLing workers still
+        simulating), persists the unfinished tail to the queue
+        manifest, flushes and stops the bus, and closes the listener.
+        Idempotent.
+        """
+        with self._shutdown_lock:
+            if self._shut:
+                return True
+            self._shut = True
+        self._accepting = False
+        self._stopping.set()
+        drained = self.queue.wait_idle(timeout=grace)
+        if self.scheduler is not None:
+            self.scheduler.stop(timeout=max(1.0, grace), force=True)
+        pending = self.queue.pending()
+        if self.manifest is not None:
+            if pending:
+                self.manifest.write(pending)
+            else:
+                self.manifest.clear()
+        self.bus.emit(
+            "batch.end",
+            jobs=len(self.queue.records()),
+            unfinished=len(pending),
+            service=True,
+        )
+        self.bus.flush()
+        obs_bus.set_current(self._previous_handle)
+        self.bus.stop()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            if self._server_thread is not None:
+                self._server_thread.join(timeout=5.0)
+            self._httpd.server_close()
+        return drained
+
+    # -- job admission --------------------------------------------------
+
+    def _apply_policy(self, job):
+        """Stamp daemon-owned execution policy onto an accepted job."""
+        import dataclasses
+
+        updates: dict = {}
+        if self.ckpt_dir and self.ckpt_every:
+            updates["ckpt_dir"] = self.ckpt_dir
+            updates["ckpt_every"] = self.ckpt_every
+        if self.trace_dir:
+            updates["trace_dir"] = self.trace_dir
+        return dataclasses.replace(job, **updates) if updates else job
+
+    def submit(self, payload: dict) -> dict:
+        """Admit one wire payload; returns the submission response.
+
+        Raises :class:`~repro.serve.wire.WireError` for malformed or
+        semantically invalid payloads (the handler's 400 path).
+        """
+        job = self._apply_policy(wire.job_from_payload(payload))
+        priority = wire.submit_priority(payload)
+        try:
+            job.spec()  # semantic validation: workload, topology
+        except ReproError as error:
+            raise wire.WireError(str(error)) from error
+        record, deduped = self.queue.submit(job, priority)
+        if not deduped and self.cache is not None:
+            # Submit-time cache pre-check: a spec already published by
+            # an earlier run (or another daemon sharing the cache
+            # directory) returns instantly, touching no worker.
+            result = self.cache.get(job)
+            if result is not None:
+                self.queue.finish(record, result, cached=True)
+                self.bus.emit(
+                    "job.cached",
+                    job=job.label(),
+                    tag=record.id,
+                    source="submit",
+                )
+        return {
+            "id": record.id,
+            "state": record.state,
+            "label": record.job.label(),
+            "reused": deduped,
+            "submits": record.submits,
+            "priority": record.priority,
+        }
+
+    def cancel(self, job_id: str) -> dict | None:
+        """Cancel a job; ``None`` for unknown ids."""
+        record = self.queue.get(job_id)
+        if record is None:
+            return None
+        before = record.state
+        state = self.queue.cancel(job_id)
+        if before == QUEUED and state == CANCELLED:
+            self.bus.emit(
+                "job.cancelled",
+                job=record.job.label(),
+                tag=record.id,
+                source="queued",
+            )
+        return {
+            "id": job_id,
+            "state": state,
+            "cancel_requested": record.cancel_requested,
+        }
+
+    # -- introspection --------------------------------------------------
+
+    def status(self, job_id: str) -> dict | None:
+        """Status document for one job; ``None`` for unknown ids."""
+        record = self.queue.get(job_id)
+        return None if record is None else record.status()
+
+    def queue_info(self) -> dict:
+        """The ``GET /v1/queue`` document."""
+        return {
+            "accepting": self._accepting,
+            "workers": self.runner.n_jobs,
+            "inflight": (
+                self.scheduler.inflight() if self.scheduler else 0
+            ),
+            "executed": (
+                self.scheduler.executed if self.scheduler else 0
+            ),
+            "counts": self.queue.counts(),
+            "jobs": [
+                record.status() for record in self.queue.records()
+            ],
+        }
+
+    def health(self) -> dict:
+        """The ``GET /v1/health`` document."""
+        return {
+            "ok": True,
+            "version": repro.__version__,
+            "wire_version": wire.WIRE_VERSION,
+            "accepting": self._accepting,
+            "workers": self.runner.n_jobs,
+            "uptime_seconds": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+        }
+
+    def cache_info(self) -> dict:
+        """The ``GET /v1/cache`` document (counters + disk usage)."""
+        if self.cache is None:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "counters": self.cache.stats(),
+            "disk": self.cache.disk_stats(),
+        }
+
+    def metrics_text(self) -> str:
+        """The ``GET /v1/metrics`` body: batch rollup + service gauges."""
+        text = prometheus_text(rollup_events(list(self.bus.events)))
+        lines = [
+            "# HELP repro_service_jobs Jobs by lifecycle state.",
+            "# TYPE repro_service_jobs gauge",
+        ]
+        for state, count in self.queue.counts().items():
+            lines.append(
+                f'repro_service_jobs{{state="{state}"}} {count}'
+            )
+        lines += [
+            "# HELP repro_service_accepting Whether POST /v1/jobs is "
+            "admitted.",
+            "# TYPE repro_service_accepting gauge",
+            f"repro_service_accepting {int(self._accepting)}",
+            "# HELP repro_service_workers Warm pool worker slots.",
+            "# TYPE repro_service_workers gauge",
+            f"repro_service_workers {self.runner.n_jobs}",
+            "# HELP repro_service_inflight Jobs dispatched to the pool.",
+            "# TYPE repro_service_inflight gauge",
+            "repro_service_inflight "
+            f"{self.scheduler.inflight() if self.scheduler else 0}",
+            "# HELP repro_service_executed_total Simulations run to "
+            "completion by this daemon.",
+            "# TYPE repro_service_executed_total counter",
+            "repro_service_executed_total "
+            f"{self.scheduler.executed if self.scheduler else 0}",
+            "# HELP repro_service_uptime_seconds Daemon uptime.",
+            "# TYPE repro_service_uptime_seconds gauge",
+            "repro_service_uptime_seconds "
+            f"{(time.time() - self.started_at) if self.started_at else 0.0!r}",
+        ]
+        if self.cache is not None:
+            lines += [
+                "# HELP repro_service_cache_ops Result-cache counters "
+                "since daemon start.",
+                "# TYPE repro_service_cache_ops counter",
+            ]
+            for op, count in sorted(self.cache.stats().items()):
+                lines.append(
+                    f'repro_service_cache_ops{{op="{op}"}} {count}'
+                )
+        return text + "\n".join(lines) + "\n"
+
+    # -- event streaming ------------------------------------------------
+
+    def stream_events(self, job_id: str, poll: float = 0.25):
+        """Yield NDJSON lines for one job's bus events until terminal.
+
+        Each yielded line is a serialized :class:`BusEvent`; the stream
+        closes with a synthetic ``serve.state`` line carrying the
+        record's final state. Returns immediately (no lines) for
+        unknown ids; ends early if the daemon begins shutting down.
+        """
+        if self.queue.get(job_id) is None:
+            return
+        cursor = 0
+        while True:
+            events = self.router.events_for(job_id, cursor)
+            cursor += len(events)
+            for event in events:
+                yield event.to_json_line()
+            record = self.queue.get(job_id)
+            if record is not None and record.terminal:
+                # Drain stragglers the collector already has queued.
+                self.bus.flush(timeout=2.0)
+                events = self.router.events_for(job_id, cursor)
+                cursor += len(events)
+                for event in events:
+                    yield event.to_json_line()
+                yield json.dumps(
+                    {
+                        "kind": "serve.state",
+                        "id": job_id,
+                        "state": record.state,
+                        "attempts": record.attempts,
+                        "ts": time.time(),
+                    },
+                    sort_keys=True,
+                )
+                return
+            if self._stopping.is_set():
+                return
+            self.router.wait(job_id, cursor, poll)
+
+
+class _ServeHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server carrying a reference to its daemon."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, service: ServiceDaemon) -> None:
+        super().__init__(address, handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the ``/v1`` API onto :class:`ServiceDaemon` methods."""
+
+    server: _ServeHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> ServiceDaemon:
+        """The daemon this server front-ends."""
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002
+        """Silence the default per-request stderr chatter."""
+
+    # -- plumbing -------------------------------------------------------
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def _read_body(self) -> dict | None:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        raw = self.rfile.read(length) if length > 0 else b""
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, ValueError):
+            self._error(400, "request body is not valid JSON")
+            return None
+        if not isinstance(payload, dict):
+            self._error(400, "request body must be a JSON object")
+            return None
+        return payload
+
+    # -- verbs ----------------------------------------------------------
+
+    def do_POST(self) -> None:
+        """``POST /v1/jobs`` and ``POST /v1/jobs/{id}/cancel``."""
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["v1", "jobs"]:
+            payload = self._read_body()
+            if payload is None:
+                return
+            if not self.service.accepting:
+                self._error(
+                    503, "daemon is shutting down; not accepting jobs"
+                )
+                return
+            try:
+                response = self.service.submit(payload)
+            except wire.WireError as error:
+                self._error(400, str(error))
+                return
+            code = 200 if response["reused"] or response[
+                "state"
+            ] == "cached" else 202
+            self._send_json(code, response)
+            return
+        if (
+            len(parts) == 4
+            and parts[:2] == ["v1", "jobs"]
+            and parts[3] == "cancel"
+        ):
+            response = self.service.cancel(parts[2])
+            if response is None:
+                self._error(404, f"unknown job {parts[2]}")
+                return
+            self._send_json(200, response)
+            return
+        self._error(404, f"no such endpoint: POST {self.path}")
+
+    def do_GET(self) -> None:
+        """All ``GET /v1/...`` read endpoints."""
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["v1", "health"]:
+            self._send_json(200, self.service.health())
+            return
+        if parts == ["v1", "queue"]:
+            self._send_json(200, self.service.queue_info())
+            return
+        if parts == ["v1", "cache"]:
+            self._send_json(200, self.service.cache_info())
+            return
+        if parts == ["v1", "metrics"]:
+            self._send_text(
+                200,
+                self.service.metrics_text(),
+                "text/plain; version=0.0.4",
+            )
+            return
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            status = self.service.status(parts[2])
+            if status is None:
+                self._error(404, f"unknown job {parts[2]}")
+                return
+            self._send_json(200, status)
+            return
+        if len(parts) == 4 and parts[:2] == ["v1", "jobs"]:
+            if parts[3] == "result":
+                self._get_result(parts[2])
+                return
+            if parts[3] == "events":
+                self._get_events(parts[2])
+                return
+        self._error(404, f"no such endpoint: GET {self.path}")
+
+    def _get_result(self, job_id: str) -> None:
+        record = self.service.queue.get(job_id)
+        if record is None:
+            self._error(404, f"unknown job {job_id}")
+            return
+        if record.result is not None:
+            self._send_json(
+                200,
+                {
+                    "id": record.id,
+                    "state": record.state,
+                    "cached": record.cached,
+                    "attempts": record.attempts,
+                    "result": record.result.to_dict(),
+                },
+            )
+            return
+        if record.terminal:
+            self._send_json(
+                409,
+                {
+                    "id": record.id,
+                    "state": record.state,
+                    "error": record.error
+                    or f"job ended {record.state} without a result",
+                },
+            )
+            return
+        self._send_json(
+            409,
+            {
+                "id": record.id,
+                "state": record.state,
+                "error": "job has not finished; poll "
+                f"/v1/jobs/{job_id} for status",
+            },
+        )
+
+    def _get_events(self, job_id: str) -> None:
+        if self.service.queue.get(job_id) is None:
+            self._error(404, f"unknown job {job_id}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        # No Content-Length: the stream ends when the job does, and the
+        # connection closes with it.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            for line in self.service.stream_events(job_id):
+                self.wfile.write(line.encode("utf-8") + b"\n")
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        self.close_connection = True

@@ -1,0 +1,154 @@
+"""Wire format for the simulation service.
+
+The service accepts jobs as plain JSON — a serialized subset of
+:class:`~repro.core.runner.Job` — and returns statuses, results and
+events as plain JSON back. This module is the single place that subset
+is defined: :func:`job_from_payload` turns an untrusted client payload
+into a validated :class:`Job` (rejecting unknown fields loudly, so a
+typo like ``"archs"`` can never silently run a default machine), and
+:func:`job_to_payload` is its inverse for the Python client and the
+queue manifest.
+
+Deliberately *not* on the wire: execution-policy paths
+(``ckpt_dir``/``trace_dir`` — the daemon decides where its artifact
+stores live), callables (workloads cross the wire by registry name
+only) and ``cpu_params`` (no current preset needs per-request CPU
+parameter overrides; add the field here when one does).
+"""
+
+from __future__ import annotations
+
+from repro.core.runner import Job
+from repro.errors import ReproError
+
+#: Wire-format version, echoed in submissions and manifests so a
+#: future incompatible change can be detected instead of misparsed.
+WIRE_VERSION = 1
+
+#: field name -> (expected types, default) for the Job subset that
+#: crosses the wire.
+_JOB_FIELDS: dict[str, tuple[tuple[type, ...], object]] = {
+    "workload": ((str,), None),
+    "arch": ((str,), None),
+    "cpu_model": ((str,), "mipsy"),
+    "scale": ((str,), "test"),
+    "n_cpus": ((int,), None),
+    "overrides": ((dict,), None),
+    "max_cycles": ((int,), None),
+    "obs_sample": ((int,), 0),
+    "replay": ((bool,), False),
+    "timeout_s": ((int, float), 0.0),
+    "ckpt_every": ((int,), 0),
+}
+
+#: submission-level fields that are not Job fields
+_SUBMIT_FIELDS = frozenset({"priority", "version"})
+
+
+class WireError(ReproError):
+    """A malformed or unserviceable wire payload."""
+
+
+def _require(condition: bool, message: str) -> None:
+    """Raise :class:`WireError` unless ``condition`` holds."""
+    if not condition:
+        raise WireError(message)
+
+
+def job_from_payload(payload: dict) -> Job:
+    """Build a validated :class:`Job` from a client JSON payload.
+
+    Unknown fields, wrong types, missing required fields and unknown
+    workload names raise :class:`WireError`; topology resolution is
+    left to ``Job.spec()`` so the service layer can report bad arch
+    names with the same 400 path.
+    """
+    _require(isinstance(payload, dict), "job payload must be an object")
+    unknown = set(payload) - set(_JOB_FIELDS) - _SUBMIT_FIELDS
+    _require(
+        not unknown,
+        f"unknown job field(s): {', '.join(sorted(unknown))}",
+    )
+    _require(
+        isinstance(payload.get("workload"), str),
+        "job payload needs a workload name (string)",
+    )
+    from repro.workloads import WORKLOADS
+
+    _require(
+        payload["workload"] in WORKLOADS,
+        f"unknown workload {payload['workload']!r}; "
+        f"valid: {', '.join(sorted(WORKLOADS))}",
+    )
+    _require(
+        isinstance(payload.get("arch"), str),
+        "job payload needs an arch/topology preset name (string)",
+    )
+    kwargs: dict = {}
+    for name, (types, default) in _JOB_FIELDS.items():
+        value = payload.get(name, default)
+        if value is None:
+            continue
+        _require(
+            isinstance(value, types) and not (
+                bool not in types and isinstance(value, bool)
+            ),
+            f"job field {name!r} must be "
+            f"{' or '.join(t.__name__ for t in types)}, "
+            f"got {value!r}",
+        )
+        kwargs[name] = value
+    overrides = kwargs.get("overrides")
+    if overrides is not None:
+        for key, value in overrides.items():
+            _require(
+                isinstance(key, str) and isinstance(value, int)
+                and not isinstance(value, bool),
+                f"override {key!r} must map a string field to an "
+                f"integer, got {value!r}",
+            )
+    if "n_cpus" not in kwargs:
+        # Like the CLI, default to the preset's natural core count.
+        from repro.mem.topology import get_preset
+
+        try:
+            kwargs["n_cpus"] = get_preset(kwargs["arch"]).default_cpus
+        except ReproError:
+            kwargs["n_cpus"] = 4  # Job.spec() will report the bad arch
+    return Job(**kwargs)
+
+
+def submit_priority(payload: dict) -> int:
+    """Extract the submission priority (lower runs sooner; default 0)."""
+    priority = payload.get("priority", 0) if isinstance(payload, dict) \
+        else 0
+    _require(
+        isinstance(priority, int) and not isinstance(priority, bool),
+        f"priority must be an integer, got {priority!r}",
+    )
+    return priority
+
+
+def job_to_payload(job: Job, priority: int = 0) -> dict:
+    """Serialize ``job`` (plus ``priority``) for the wire or manifest.
+
+    Only wire-visible fields are emitted; policy fields the daemon
+    owns (checkpoint/trace directories) never round-trip through
+    clients. Raises :class:`WireError` for factory-callable workloads,
+    which cannot cross the wire by value.
+    """
+    _require(
+        isinstance(job.workload, str),
+        "only registry-named workloads can be submitted over the wire",
+    )
+    payload: dict = {"version": WIRE_VERSION}
+    for name, (_, default) in _JOB_FIELDS.items():
+        value = getattr(job, name)
+        if name == "overrides":
+            if value:
+                payload[name] = dict(value)
+        elif name in ("workload", "arch", "n_cpus") or value != default:
+            payload[name] = value
+    if priority:
+        payload["priority"] = priority
+    return payload
